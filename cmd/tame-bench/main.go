@@ -1,0 +1,88 @@
+// tame-bench regenerates the paper's evaluation (DESIGN.md's
+// per-experiment index):
+//
+//	-exp validate     E3: §6 translation validation of passes
+//	-exp compiletime  E4: §7.2 compile time, baseline vs prototype
+//	-exp memory       E5: §7.2 compiler memory
+//	-exp codesize     E6: §7.2 object size + freeze fractions
+//	-exp runtime      E7: §7.2 run time (Figure 6)
+//	-exp ablation     freeze-aware vs freeze-blind optimizations
+//	-exp all          everything
+//
+// E4–E7 share one measurement sweep; the report prints all four
+// sections when any of them is requested.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tameir/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: validate, compiletime, memory, codesize, runtime, all")
+	reps := flag.Int("reps", 3, "compile repetitions for wall-time medians")
+	valInstrs := flag.Int("validate-instrs", 2, "instructions per generated function (E3)")
+	valMax := flag.Int("validate-max", 3000, "max generated functions per pass (E3)")
+	flag.Parse()
+
+	wantMeasure := false
+	wantValidate := false
+	wantAblation := false
+	switch *exp {
+	case "all":
+		wantMeasure, wantValidate, wantAblation = true, true, true
+	case "validate":
+		wantValidate = true
+	case "compiletime", "memory", "codesize", "runtime":
+		wantMeasure = true
+	case "ablation":
+		wantAblation = true
+	default:
+		fmt.Fprintf(os.Stderr, "tame-bench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+
+	if wantValidate {
+		fmt.Println("# Section 6 experiment: exhaustive generation + translation validation")
+		fixed := bench.Validate(true, *valInstrs, *valMax)
+		bench.ReportValidation(os.Stdout, "fixed passes, freeze semantics", fixed)
+		fmt.Println()
+		legacy := bench.Validate(false, *valInstrs, *valMax)
+		bench.ReportValidation(os.Stdout, "historical passes, legacy semantics", legacy)
+		fmt.Println()
+	}
+
+	if wantMeasure {
+		fmt.Println("# Section 7 experiments: baseline vs freeze prototype")
+		base, err := bench.MeasureAll(bench.Baseline(), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		proto, err := bench.MeasureAll(bench.Prototype(), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		bench.Report(os.Stdout, base, proto)
+	}
+
+	if wantAblation {
+		fmt.Println("\n# Ablation: what the §6 freeze-awareness work buys")
+		proto, err := bench.MeasureAll(bench.Prototype(), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		blind, err := bench.MeasureAll(bench.FreezeBlindPrototype(), *reps)
+		if err != nil {
+			fatal(err)
+		}
+		bench.ReportAblation(os.Stdout, proto, blind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tame-bench:", err)
+	os.Exit(1)
+}

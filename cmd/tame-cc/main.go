@@ -1,0 +1,88 @@
+// tame-cc compiles MinC source through the full pipeline:
+// MinC → IR → optimizer → SelectionDAG → MachineInstr → VX64.
+//
+// Usage:
+//
+//	tame-cc [-emit ir|asm] [-O0] [-baseline] [-run] file.c
+//
+// -emit ir prints the (optimized) IR, -emit asm the VX64 assembly;
+// -run additionally executes main() on the simulator and reports the
+// result, cycle count and object size. -baseline selects the legacy
+// compiler configuration instead of the freeze prototype.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tameir/internal/bench"
+	"tameir/internal/mi"
+	"tameir/internal/minc"
+	"tameir/internal/passes"
+	"tameir/internal/target"
+)
+
+func main() {
+	emit := flag.String("emit", "asm", "output kind: ir or asm")
+	o0 := flag.Bool("O0", false, "disable the optimizer")
+	baseline := flag.Bool("baseline", false, "legacy compiler (no freeze) instead of the prototype")
+	run := flag.Bool("run", false, "execute main() on the VX64 simulator")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: tame-cc [flags] file.c"))
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	variant := bench.Prototype()
+	if *baseline {
+		variant = bench.Baseline()
+	}
+	mod, err := minc.CompileString(string(src), variant.MincCfg)
+	if err != nil {
+		fatal(err)
+	}
+	if !*o0 {
+		passes.O2().Run(mod, variant.PassCfg)
+	}
+	if *emit == "ir" {
+		fmt.Print(mod)
+	}
+	prog, err := mi.CompileModule(mod)
+	if err != nil {
+		fatal(err)
+	}
+	if *emit == "asm" {
+		for _, f := range prog.Funcs {
+			fmt.Printf("%s:  ; frame %d bytes\n", f.Name, f.FrameSize)
+			for bi, blk := range f.Blocks {
+				fmt.Printf("L%d:\n", bi)
+				for _, in := range blk {
+					fmt.Printf("\t%s\n", in)
+				}
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "object size: %d bytes\n", target.ProgramSize(prog))
+	if *run {
+		mainIdx := prog.FuncByName("main")
+		if mainIdx < 0 {
+			fatal(fmt.Errorf("no main()"))
+		}
+		m := target.NewMachine(prog)
+		ret, err := m.Run(mainIdx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "main() = %d (%d instructions, %d cycles)\n",
+			int32(uint32(ret)), m.Instrs, m.Cycles)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tame-cc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// tame-fuzz generates IR functions like the paper's opt-fuzz: either
+// exhaustively (straight-line, small bitwidth) or randomly (with
+// control flow).
+//
+// Usage:
+//
+//	tame-fuzz [-mode exhaustive|random] [-instrs N] [-n MAX] [-seed S] [-width W]
+//
+// Each generated function is printed to stdout, separated by blank
+// lines — pipe into tame-opt or tame-tv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"tameir/internal/ir"
+	"tameir/internal/optfuzz"
+)
+
+func main() {
+	mode := flag.String("mode", "exhaustive", "exhaustive or random")
+	instrs := flag.Int("instrs", 2, "instructions per function (exhaustive mode)")
+	n := flag.Int("n", 100, "maximum number of functions")
+	seed := flag.Int64("seed", 1, "random seed (random mode)")
+	width := flag.Uint("width", 2, "integer bitwidth")
+	flag.Parse()
+
+	switch *mode {
+	case "exhaustive":
+		cfg := optfuzz.DefaultConfig(*instrs)
+		cfg.Width = *width
+		cfg.MaxFuncs = *n
+		count, truncated := optfuzz.Exhaustive(cfg, func(f *ir.Func) bool {
+			fmt.Println(f)
+			return true
+		})
+		fmt.Fprintf(os.Stderr, "tame-fuzz: %d functions (truncated=%v)\n", count, truncated)
+	case "random":
+		rng := rand.New(rand.NewSource(*seed))
+		rcfg := optfuzz.DefaultRandomConfig()
+		rcfg.Width = *width
+		for i := 0; i < *n; i++ {
+			fmt.Println(optfuzz.Random(rng, rcfg))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tame-fuzz: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+// tame-opt runs optimizer passes over textual IR, like LLVM's opt.
+//
+// Usage:
+//
+//	tame-opt [-sem legacy|freeze] [-passes p1,p2,...|O2] [-unsound] [file]
+//
+// Reads the module from file (or stdin), runs the passes, prints the
+// transformed module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+	"tameir/internal/passes"
+)
+
+func main() {
+	sem := flag.String("sem", "freeze", "semantics: legacy or freeze")
+	passList := flag.String("passes", "O2", "comma-separated pass names, or O2")
+	unsound := flag.Bool("unsound", false, "use the historical (pre-paper) pass variants")
+	verify := flag.Bool("verify", true, "verify IR after every pass")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := ir.ParseModule(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := &passes.Config{Unsound: *unsound, VerifyAfterEach: *verify, FreezeAware: true}
+	switch *sem {
+	case "freeze":
+		cfg.Sem = core.FreezeOptions()
+	case "legacy":
+		cfg.Sem = core.LegacyOptions(core.BranchPoisonNondet)
+	default:
+		fatal(fmt.Errorf("unknown semantics %q", *sem))
+	}
+	if err := ir.VerifyModule(mod, verifyMode(cfg)); err != nil {
+		fatal(err)
+	}
+
+	if *passList == "O2" {
+		passes.O2().Run(mod, cfg)
+	} else {
+		for _, name := range strings.Split(*passList, ",") {
+			p := passes.PassByName(strings.TrimSpace(name))
+			if p == nil {
+				fatal(fmt.Errorf("unknown pass %q", name))
+			}
+			for _, f := range mod.Funcs {
+				passes.RunPass(p, f, cfg)
+			}
+		}
+	}
+	fmt.Print(mod)
+}
+
+func verifyMode(cfg *passes.Config) ir.VerifyMode {
+	if cfg.Sem.Mode == core.Freeze {
+		return ir.VerifyFreeze
+	}
+	return ir.VerifyLegacy
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tame-opt:", err)
+	os.Exit(1)
+}

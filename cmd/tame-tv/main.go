@@ -1,0 +1,100 @@
+// tame-tv is the translation validator (Alive-lite): it decides by
+// exhaustive enumeration whether one function refines another.
+//
+// Usage:
+//
+//	tame-tv [-sem legacy|freeze] src.ll tgt.ll      validate a pair
+//	tame-tv [-sem ...] -pass gvn[,p2...] file.ll    run passes, validate
+//
+// Functions are matched by name. Exit status 1 on any refuted pair.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+	"tameir/internal/passes"
+	"tameir/internal/refine"
+)
+
+func main() {
+	sem := flag.String("sem", "freeze", "semantics: legacy or freeze")
+	passList := flag.String("pass", "", "run these passes on the input and validate the result")
+	unsound := flag.Bool("unsound", false, "use the historical pass variants")
+	flag.Parse()
+
+	var opts core.Options
+	switch *sem {
+	case "freeze":
+		opts = core.FreezeOptions()
+	case "legacy":
+		opts = core.LegacyOptions(core.BranchPoisonNondet)
+	default:
+		fatal(fmt.Errorf("unknown semantics %q", *sem))
+	}
+	rcfg := refine.DefaultConfig(opts, opts)
+
+	anyRefuted := false
+	report := func(name string, r refine.Result) {
+		fmt.Printf("@%s: %s\n", name, r)
+		if r.Status == refine.Refuted {
+			anyRefuted = true
+		}
+	}
+
+	if *passList != "" {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("usage: tame-tv -pass p1,p2 file.ll"))
+		}
+		mod := parse(flag.Arg(0))
+		cfg := &passes.Config{Sem: opts, Unsound: *unsound, FreezeAware: true}
+		for _, f := range mod.Funcs {
+			orig := ir.CloneFunc(f)
+			for _, name := range strings.Split(*passList, ",") {
+				p := passes.PassByName(strings.TrimSpace(name))
+				if p == nil {
+					fatal(fmt.Errorf("unknown pass %q", name))
+				}
+				passes.RunPass(p, f, cfg)
+			}
+			report(f.Name(), refine.Check(orig, f, rcfg))
+		}
+	} else {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("usage: tame-tv src.ll tgt.ll"))
+		}
+		srcMod := parse(flag.Arg(0))
+		tgtMod := parse(flag.Arg(1))
+		for _, sf := range srcMod.Funcs {
+			tf := tgtMod.FuncByName(sf.Name())
+			if tf == nil {
+				fatal(fmt.Errorf("target module lacks @%s", sf.Name()))
+			}
+			report(sf.Name(), refine.Check(sf, tf, rcfg))
+		}
+	}
+	if anyRefuted {
+		os.Exit(1)
+	}
+}
+
+func parse(path string) *ir.Module {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := ir.ParseModule(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	return mod
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tame-tv:", err)
+	os.Exit(1)
+}

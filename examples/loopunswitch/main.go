@@ -1,0 +1,54 @@
+// Loopunswitch demonstrates §5.1: hoisting a loop-invariant branch out
+// of a loop requires freezing the condition under the paper's
+// semantics — branching on poison before the loop would introduce UB
+// that the original program (whose loop may never run) did not have.
+package main
+
+import (
+	"fmt"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+	"tameir/internal/passes"
+	"tameir/internal/refine"
+)
+
+const src = `define i2 @g(i1 %c2, i1 %c) {
+entry:
+  br label %head
+head:
+  %cc = phi i1 [ %c, %entry ], [ false, %latch ]
+  br i1 %cc, label %body, label %exit
+body:
+  br i1 %c2, label %foo, label %bar
+foo:
+  br label %latch
+bar:
+  br label %latch
+latch:
+  %v = phi i2 [ 1, %foo ], [ 2, %bar ]
+  br label %head
+exit:
+  ret i2 0
+}`
+
+func main() {
+	orig := ir.MustParseFunc(src)
+	fmt.Printf("before (the paper's 'while (c) { if (c2) foo else bar }'):\n%s\n", orig)
+	fz := core.FreezeOptions()
+
+	// Fixed unswitching freezes the hoisted condition.
+	fixed := ir.CloneFunc(orig)
+	passes.RunPass(passes.LoopUnswitch{}, fixed, passes.DefaultFreezeConfig())
+	fmt.Printf("after fixed unswitching (note the freeze):\n%s\n", fixed)
+	r := refine.Check(orig, fixed, refine.DefaultConfig(fz, fz))
+	fmt.Printf("validation: %s\n\n", r)
+
+	// Historical unswitching branches on the raw condition.
+	buggy := ir.CloneFunc(orig)
+	passes.RunPass(passes.LoopUnswitch{}, buggy, &passes.Config{Sem: fz, Unsound: true})
+	r = refine.Check(orig, buggy, refine.DefaultConfig(fz, fz))
+	fmt.Printf("historical unswitching (no freeze) under the same semantics: %s\n", r)
+	fmt.Println("\nwith c=false (loop never runs) and c2=poison, the source returns 0")
+	fmt.Println("but the unfrozen hoisted branch executes UB — exactly §5.1's point.")
+}

@@ -1,0 +1,78 @@
+// Miscompile reproduces the paper's Section 3.3 end-to-end
+// miscompilation (PR27506): GVN assumes branch-on-poison is UB, loop
+// unswitching assumes it is a nondeterministic choice, and their
+// composition is wrong under EITHER semantics. The paper's fix —
+// freeze semantics plus a frozen unswitch condition — makes the same
+// pipeline sound.
+package main
+
+import (
+	"fmt"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+	"tameir/internal/passes"
+	"tameir/internal/refine"
+)
+
+const src = `define i2 @f(i2 %x, i2 %y, i1 %c) {
+entry:
+  %t = add nsw i2 %x, 1
+  %cmp = icmp eq i2 %t, %y
+  br label %head
+head:
+  %cc = phi i1 [ %c, %entry ], [ false, %latch ]
+  br i1 %cc, label %body, label %exit
+body:
+  br i1 %cmp, label %then, label %latch
+then:
+  %w = add nsw i2 %x, 1
+  ret i2 %w
+latch:
+  br label %head
+exit:
+  ret i2 3
+}`
+
+func main() {
+	orig := ir.MustParseFunc(src)
+	fmt.Printf("source program:\n%s\n", orig)
+
+	// The historical pipeline: GVN's equality propagation (needs
+	// branch-on-poison = UB) followed by unswitching without freeze
+	// (needs branch-on-poison = nondeterministic).
+	buggy := ir.CloneFunc(orig)
+	cfg := &passes.Config{Sem: core.LegacyOptions(core.BranchPoisonNondet), Unsound: true}
+	passes.RunPass(passes.GVN{}, buggy, cfg)
+	passes.RunPass(passes.LoopUnswitch{}, buggy, cfg)
+	fmt.Printf("after historical GVN + loop unswitching:\n%s\n", buggy)
+
+	for _, sem := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"branch-on-poison is UB (GVN's assumption)", core.LegacyOptions(core.BranchPoisonIsUB)},
+		{"branch-on-poison is nondeterministic (unswitching's assumption)", core.LegacyOptions(core.BranchPoisonNondet)},
+	} {
+		r := refine.Check(orig, buggy, refine.DefaultConfig(sem.opts, sem.opts))
+		fmt.Printf("validated under %q:\n  %s\n", sem.name, r)
+	}
+
+	// Concrete witness: x=0, y=poison, c=true. The source returns 1 or
+	// 3; the miscompiled program can return poison (garbage).
+	nondet := core.LegacyOptions(core.BranchPoisonNondet)
+	args := []core.Value{core.VC(ir.I2, 0), core.VPoison(ir.I2), core.VBool(true)}
+	rcfg := refine.DefaultConfig(nondet, nondet)
+	fmt.Printf("\nwitness input (x=0, y=poison, c=true):\n")
+	fmt.Printf("  source behaviours:   %s\n", refine.Behaviors(orig, args, nondet, rcfg))
+	fmt.Printf("  compiled behaviours: %s\n", refine.Behaviors(buggy, args, nondet, rcfg))
+
+	// The paper's fix: freeze semantics, fixed passes.
+	fixed := ir.CloneFunc(orig)
+	fcfg := passes.DefaultFreezeConfig()
+	passes.RunPass(passes.GVN{}, fixed, fcfg)
+	passes.RunPass(passes.LoopUnswitch{}, fixed, fcfg)
+	fz := core.FreezeOptions()
+	r := refine.Check(orig, fixed, refine.DefaultConfig(fz, fz))
+	fmt.Printf("\nafter the paper's fix (freeze semantics, frozen unswitch):\n  %s\n", r)
+}

@@ -1,0 +1,62 @@
+// Tv demonstrates the Section 6 testing methodology in miniature:
+// exhaustively generate small functions (opt-fuzz style), run a pass,
+// and translation-validate every transformation (Alive style). The
+// fixed pipeline validates cleanly; the historical InstCombine is
+// caught red-handed.
+package main
+
+import (
+	"fmt"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+	"tameir/internal/optfuzz"
+	"tameir/internal/passes"
+	"tameir/internal/refine"
+)
+
+func validate(title string, fixed bool) {
+	var sem core.Options
+	var pcfg *passes.Config
+	gen := optfuzz.DefaultConfig(1)
+	if fixed {
+		sem = core.FreezeOptions()
+		pcfg = passes.DefaultFreezeConfig()
+		gen.AllowUndef = false
+		gen.AllowPoison = true
+	} else {
+		sem = core.LegacyOptions(core.BranchPoisonNondet)
+		pcfg = passes.DefaultLegacyConfig()
+	}
+	gen.MaxFuncs = 800
+	rcfg := refine.DefaultConfig(sem, sem)
+
+	checked, refuted := 0, 0
+	var firstCE string
+	optfuzz.Exhaustive(gen, func(f *ir.Func) bool {
+		work := ir.CloneFunc(f)
+		passes.RunPass(passes.InstCombine{}, work, pcfg)
+		r := refine.Check(f, work, rcfg)
+		checked++
+		if r.Status == refine.Refuted && firstCE == "" {
+			refuted++
+			firstCE = fmt.Sprintf("%s\n  was transformed to:\n%s\n  %s", f, work, r.CE)
+		} else if r.Status == refine.Refuted {
+			refuted++
+		}
+		return true
+	})
+	fmt.Printf("== %s ==\n", title)
+	fmt.Printf("functions checked: %d, miscompilations found: %d\n", checked, refuted)
+	if firstCE != "" {
+		fmt.Printf("first counterexample:\n%s\n", firstCE)
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("opt-fuzz + Alive, as in the paper's Section 6:")
+	fmt.Println()
+	validate("fixed InstCombine under the freeze semantics", true)
+	validate("historical InstCombine under the legacy semantics", false)
+}

@@ -1,0 +1,3 @@
+module tameir
+
+go 1.22

@@ -1,0 +1,471 @@
+package analysis
+
+import (
+	"testing"
+
+	"tameir/internal/ir"
+)
+
+const diamondSrc = `define i32 @f(i1 %c, i32 %a) {
+entry:
+  br i1 %c, label %t, label %e
+t:
+  br label %m
+e:
+  br label %m
+m:
+  %x = phi i32 [ 1, %t ], [ 2, %e ]
+  ret i32 %x
+}`
+
+const loopSrc = `define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %i1 = add nsw i32 %i, 1
+  br label %head
+exit:
+  ret i32 %i
+}`
+
+const nestedLoopSrc = `define void @f(i32 %n) {
+entry:
+  br label %oh
+oh:
+  %i = phi i32 [ 0, %entry ], [ %i1, %olatch ]
+  %oc = icmp slt i32 %i, %n
+  br i1 %oc, label %ih, label %done
+ih:
+  %j = phi i32 [ 0, %oh ], [ %j1, %ih ]
+  %j1 = add i32 %j, 1
+  %ic = icmp slt i32 %j1, %n
+  br i1 %ic, label %ih, label %olatch
+olatch:
+  %i1 = add i32 %i, 1
+  br label %oh
+done:
+  ret void
+}`
+
+func TestReversePostorder(t *testing.T) {
+	f := ir.MustParseFunc(diamondSrc)
+	rpo := ReversePostorder(f)
+	if len(rpo) != 4 {
+		t.Fatalf("rpo has %d blocks", len(rpo))
+	}
+	pos := map[string]int{}
+	for i, b := range rpo {
+		pos[b.Name()] = i
+	}
+	if pos["entry"] != 0 {
+		t.Error("entry not first")
+	}
+	if pos["m"] != 3 {
+		t.Errorf("merge block at %d, want last", pos["m"])
+	}
+}
+
+func TestReachableSkipsDeadBlocks(t *testing.T) {
+	f := ir.MustParseFunc(`define i32 @f() {
+entry:
+  ret i32 0
+dead:
+  br label %dead
+}`)
+	r := Reachable(f)
+	if len(r) != 1 || !r[f.Entry()] {
+		t.Errorf("reachable = %v", r)
+	}
+}
+
+func TestDomTreeDiamond(t *testing.T) {
+	f := ir.MustParseFunc(diamondSrc)
+	dt := NewDomTree(f)
+	entry := f.BlockByName("entry")
+	tb := f.BlockByName("t")
+	eb := f.BlockByName("e")
+	m := f.BlockByName("m")
+	if dt.IDom(m) != entry {
+		t.Errorf("idom(m) = %v", dt.IDom(m))
+	}
+	if dt.IDom(tb) != entry || dt.IDom(eb) != entry {
+		t.Error("idom(t/e) wrong")
+	}
+	if dt.IDom(entry) != nil {
+		t.Error("entry has an idom")
+	}
+	if !dt.Dominates(entry, m) || dt.Dominates(tb, m) || !dt.Dominates(m, m) {
+		t.Error("Dominates wrong")
+	}
+	if !dt.StrictlyDominates(entry, m) || dt.StrictlyDominates(m, m) {
+		t.Error("StrictlyDominates wrong")
+	}
+	if len(dt.Children(entry)) != 3 {
+		t.Errorf("entry dominates %d children, want 3", len(dt.Children(entry)))
+	}
+}
+
+func TestInstrDominates(t *testing.T) {
+	f := ir.MustParseFunc(loopSrc)
+	dt := NewDomTree(f)
+	head := f.BlockByName("head")
+	body := f.BlockByName("body")
+	phi := head.Phis()[0]
+	cmp := head.Instrs()[1]
+	inc := body.Instrs()[0]
+	if !dt.InstrDominates(phi, cmp) {
+		t.Error("phi should dominate cmp in same block")
+	}
+	if dt.InstrDominates(cmp, phi) {
+		t.Error("cmp should not dominate earlier phi")
+	}
+	if !dt.InstrDominates(phi, inc) {
+		t.Error("phi should dominate body instruction")
+	}
+	if dt.InstrDominates(inc, cmp) {
+		t.Error("body instr should not dominate head instr")
+	}
+	if !dt.InstrDominates(f.Params[0], inc) {
+		t.Error("parameters dominate everything")
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	f := ir.MustParseFunc(loopSrc)
+	dt := NewDomTree(f)
+	li := FindLoops(f, dt)
+	if len(li.Loops) != 1 {
+		t.Fatalf("found %d loops", len(li.Loops))
+	}
+	l := li.Loops[0]
+	if l.Header.Name() != "head" {
+		t.Errorf("header = %s", l.Header.Name())
+	}
+	if !l.Contains(f.BlockByName("body")) || l.Contains(f.BlockByName("exit")) {
+		t.Error("loop body wrong")
+	}
+	if ph := l.Preheader(f); ph == nil || ph.Name() != "entry" {
+		t.Errorf("preheader = %v", ph)
+	}
+	exits := l.Exits()
+	if len(exits) != 1 || exits[0].Name() != "exit" {
+		t.Errorf("exits = %v", exits)
+	}
+	if li.LoopFor(f.BlockByName("body")) != l || li.LoopFor(f.BlockByName("exit")) != nil {
+		t.Error("LoopFor wrong")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	f := ir.MustParseFunc(nestedLoopSrc)
+	dt := NewDomTree(f)
+	li := FindLoops(f, dt)
+	if len(li.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(li.Loops))
+	}
+	inner, outer := li.Loops[0], li.Loops[1]
+	if len(inner.Blocks) > len(outer.Blocks) {
+		inner, outer = outer, inner
+	}
+	if inner.Header.Name() != "ih" || outer.Header.Name() != "oh" {
+		t.Errorf("headers: inner=%s outer=%s", inner.Header.Name(), outer.Header.Name())
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop's parent should be the outer loop")
+	}
+	if li.LoopFor(f.BlockByName("ih")) != inner {
+		t.Error("innermost map wrong")
+	}
+	if !outer.Blocks[f.BlockByName("ih")] {
+		t.Error("outer loop should contain inner header")
+	}
+}
+
+func TestLoopInvariance(t *testing.T) {
+	f := ir.MustParseFunc(loopSrc)
+	li := FindLoops(f, NewDomTree(f))
+	l := li.Loops[0]
+	if !l.IsInvariant(f.Params[0]) {
+		t.Error("parameter should be invariant")
+	}
+	if !l.IsInvariant(ir.ConstInt(ir.I32, 3)) {
+		t.Error("constant should be invariant")
+	}
+	phi := l.Header.Phis()[0]
+	if l.IsInvariant(phi) {
+		t.Error("loop phi should be variant")
+	}
+}
+
+func TestFindInductionVars(t *testing.T) {
+	f := ir.MustParseFunc(loopSrc)
+	li := FindLoops(f, NewDomTree(f))
+	ivs := FindInductionVars(f, li.Loops[0])
+	if len(ivs) != 1 {
+		t.Fatalf("found %d IVs", len(ivs))
+	}
+	iv := ivs[0]
+	if iv.Phi.Name() != "i" || iv.Step.Bits != 1 || !iv.NSW {
+		t.Errorf("iv = %+v", iv)
+	}
+	if c, ok := iv.Start.(*ir.Const); !ok || c.Bits != 0 {
+		t.Errorf("start = %v", iv.Start)
+	}
+}
+
+func TestKnownBitsOps(t *testing.T) {
+	build := func(src string) *ir.Instr {
+		f := ir.MustParseFunc(src)
+		instrs := f.Entry().Instrs()
+		return instrs[len(instrs)-2] // last value before ret
+	}
+	cases := []struct {
+		src  string
+		zero uint64
+		one  uint64
+	}{
+		{`define i8 @f(i8 %x) {
+entry:
+  %a = and i8 %x, 15
+  ret i8 %a
+}`, 0xf0, 0},
+		{`define i8 @f(i8 %x) {
+entry:
+  %a = or i8 %x, 3
+  ret i8 %a
+}`, 0, 3},
+		{`define i8 @f(i8 %x) {
+entry:
+  %a = and i8 %x, 12
+  %b = or i8 %a, 1
+  ret i8 %b
+}`, 0xf2, 1},
+		{`define i8 @f(i8 %x) {
+entry:
+  %a = and i8 %x, 3
+  %s = shl i8 %a, 4
+  ret i8 %s
+}`, 0xcf, 0},
+		{`define i8 @f(i8 %x) {
+entry:
+  %a = or i8 %x, 128
+  %s = lshr i8 %a, 4
+  ret i8 %s
+}`, 0xf0, 8},
+		{`define i8 @f(i4 %x) {
+entry:
+  %z = zext i4 %x to i8
+  ret i8 %z
+}`, 0xf0, 0},
+		{`define i8 @f(i8 %x) {
+entry:
+  %a = xor i8 %x, %x
+  ret i8 %a
+}`, 0, 0}, // xor x,x: conservatively unknown (distinct operand walk)
+	}
+	for i, c := range cases {
+		kb := ComputeKnownBits(build(c.src))
+		if kb.Zero&c.zero != c.zero || kb.One&c.one != c.one {
+			t.Errorf("case %d: got zero=%#x one=%#x, want at least zero=%#x one=%#x",
+				i, kb.Zero, kb.One, c.zero, c.one)
+		}
+		if kb.Zero&kb.One != 0 {
+			t.Errorf("case %d: contradictory known bits", i)
+		}
+	}
+}
+
+func TestKnownBitsConst(t *testing.T) {
+	kb := ComputeKnownBits(ir.ConstInt(ir.I8, 0xa5))
+	if v, ok := kb.Const(); !ok || v != 0xa5 {
+		t.Errorf("const known bits = %+v", kb)
+	}
+}
+
+func TestPowerOfTwoQuery(t *testing.T) {
+	// §5.6's example: %x = shl 1, %y is a power of two only up to %y
+	// being non-poison.
+	f := ir.MustParseFunc(`define i8 @f(i8 %y) {
+entry:
+  %x = shl i8 1, %y
+  ret i8 %x
+}`)
+	shl := f.Entry().Instrs()[0]
+	r := IsKnownToBeAPowerOfTwo(shl)
+	if !r.PowerOfTwo {
+		t.Error("shl 1, %y should be a power of two up to poison")
+	}
+	if r.NonPoison {
+		t.Error("the fact must be conditional: %y may be poison (and may over-shift)")
+	}
+	// A constant is unconditionally a power of two.
+	r = IsKnownToBeAPowerOfTwo(ir.ConstInt(ir.I8, 16))
+	if !r.PowerOfTwo || !r.NonPoison {
+		t.Errorf("const 16: %+v", r)
+	}
+	r = IsKnownToBeAPowerOfTwo(ir.ConstInt(ir.I8, 12))
+	if r.PowerOfTwo {
+		t.Error("12 is not a power of two")
+	}
+	// freeze(shl 1, %y): non-poison for sure, but the value may be
+	// anything if %y was poison, so PowerOfTwo must be false.
+	f2 := ir.MustParseFunc(`define i8 @f(i8 %y) {
+entry:
+  %x = shl i8 1, %y
+  %fx = freeze i8 %x
+  ret i8 %fx
+}`)
+	fr := f2.Entry().Instrs()[1]
+	r = IsKnownToBeAPowerOfTwo(fr)
+	if r.PowerOfTwo {
+		t.Error("freeze of maybe-poison power-of-two is not reliably a power of two")
+	}
+	if !r.NonPoison {
+		t.Error("freeze output is never poison")
+	}
+}
+
+func TestIsGuaranteedNotToBePoison(t *testing.T) {
+	f := ir.MustParseFunc(`define i8 @f(i8 %p) {
+entry:
+  %fz = freeze i8 %p
+  %c = add i8 1, 2
+  %n = add nsw i8 %fz, 1
+  %plain = add i8 %fz, %fz
+  %sh = shl i8 %fz, 9
+  %shc = shl i8 %fz, 2
+  ret i8 %plain
+}`)
+	ins := f.Entry().Instrs()
+	get := func(name string) *ir.Instr {
+		for _, in := range ins {
+			if in.Name() == name {
+				return in
+			}
+		}
+		t.Fatalf("no %s", name)
+		return nil
+	}
+	if IsGuaranteedNotToBePoison(f.Params[0]) {
+		t.Error("parameters may be poison")
+	}
+	if !IsGuaranteedNotToBePoison(get("fz")) {
+		t.Error("freeze is never poison")
+	}
+	if !IsGuaranteedNotToBePoison(get("c")) {
+		t.Error("constant expr is never poison")
+	}
+	if IsGuaranteedNotToBePoison(get("n")) {
+		t.Error("nsw add may be poison")
+	}
+	if !IsGuaranteedNotToBePoison(get("plain")) {
+		t.Error("plain add of frozen values is never poison")
+	}
+	if IsGuaranteedNotToBePoison(get("sh")) {
+		t.Error("over-shift may be poison")
+	}
+	if !IsGuaranteedNotToBePoison(get("shc")) {
+		t.Error("in-range shift of frozen value is never poison")
+	}
+	if IsGuaranteedNotToBePoison(ir.NewPoison(ir.I8)) || IsGuaranteedNotToBePoison(ir.NewUndef(ir.I8)) {
+		t.Error("poison/undef leaves")
+	}
+}
+
+func TestIsSpeculatable(t *testing.T) {
+	f := ir.MustParseFunc(`define i8 @f(i8 %a, i8 %b, ptr %p) {
+entry:
+  %d = udiv i8 %a, %b
+  %dc = udiv i8 %a, 4
+  %ds = sdiv i8 %a, 4
+  %sc = sdiv i8 %a, -1
+  %x = add i8 %a, %b
+  %l = load i8, ptr %p
+  ret i8 %x
+}`)
+	get := func(name string) *ir.Instr {
+		for _, in := range f.Entry().Instrs() {
+			if in.Name() == name {
+				return in
+			}
+		}
+		t.Fatalf("no %s", name)
+		return nil
+	}
+	if IsSpeculatable(get("d")) || IsSpeculatable(get("l")) {
+		t.Error("division and loads are not speculatable")
+	}
+	if !IsSpeculatable(get("x")) {
+		t.Error("add is speculatable")
+	}
+	if !IsSpeculatableWithNonPoisonDivisor(get("dc")) {
+		t.Error("udiv by constant 4 is speculatable")
+	}
+	if !IsSpeculatableWithNonPoisonDivisor(get("ds")) {
+		t.Error("sdiv by constant 4 is speculatable")
+	}
+	if IsSpeculatableWithNonPoisonDivisor(get("sc")) {
+		t.Error("sdiv by -1 can overflow (INT_MIN / -1)")
+	}
+	if IsSpeculatableWithNonPoisonDivisor(get("d")) {
+		t.Error("udiv by a parameter is not speculatable (§3.2)")
+	}
+}
+
+func TestVerifySSA(t *testing.T) {
+	good := ir.MustParseFunc(loopSrc)
+	if err := VerifySSA(good); err != nil {
+		t.Errorf("valid SSA rejected: %v", err)
+	}
+	// Build a violation: a use before its definition across blocks.
+	bad := ir.MustParseFunc(`define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %x = add i32 1, 2
+  br label %m
+b:
+  br label %m
+m:
+  %y = add i32 %x, 1
+  ret i32 %y
+}`)
+	if err := VerifySSA(bad); err == nil {
+		t.Error("use not dominated by def was accepted")
+	}
+	// Phi incomings are checked against the edge, not the phi block.
+	phiOK := ir.MustParseFunc(`define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %x = add i32 1, 2
+  br label %m
+b:
+  br label %m
+m:
+  %y = phi i32 [ %x, %a ], [ 0, %b ]
+  ret i32 %y
+}`)
+	if err := VerifySSA(phiOK); err != nil {
+		t.Errorf("valid phi rejected: %v", err)
+	}
+	phiBad := ir.MustParseFunc(`define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  %x = add i32 1, 2
+  br label %m
+m:
+  %y = phi i32 [ %x, %a ], [ 0, %b ]
+  ret i32 %y
+}`)
+	if err := VerifySSA(phiBad); err == nil {
+		t.Error("phi incoming from wrong edge was accepted")
+	}
+}

@@ -1,0 +1,64 @@
+// Package analysis provides the static analyses the optimizer passes
+// rely on: CFG orderings, dominator trees, natural-loop detection,
+// known-bits, and the poison-aware value-tracking queries whose API
+// shape Section 5.6 of the paper discusses (results that hold only "up
+// to" the analyzed values being non-poison).
+package analysis
+
+import "tameir/internal/ir"
+
+// ReversePostorder returns the blocks of f reachable from the entry in
+// reverse postorder (predecessors-mostly-before-successors; ideal for
+// forward dataflow).
+func ReversePostorder(f *ir.Func) []*ir.Block {
+	seen := map[*ir.Block]bool{}
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func Reachable(f *ir.Func) map[*ir.Block]bool {
+	seen := map[*ir.Block]bool{}
+	work := []*ir.Block{f.Entry()}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		work = append(work, b.Succs()...)
+	}
+	return seen
+}
+
+// Preds builds the predecessor map for all blocks, counting each
+// predecessor block once per distinct edge source.
+func Preds(f *ir.Func) map[*ir.Block][]*ir.Block {
+	m := make(map[*ir.Block][]*ir.Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		seen := map[*ir.Block]bool{}
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				seen[s] = true
+				m[s] = append(m[s], b)
+			}
+		}
+	}
+	return m
+}

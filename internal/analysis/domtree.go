@@ -1,0 +1,128 @@
+package analysis
+
+import "tameir/internal/ir"
+
+// DomTree is a dominator tree over the reachable blocks of a function,
+// built with the Cooper–Harvey–Kennedy iterative algorithm.
+type DomTree struct {
+	fn    *ir.Func
+	idom  map[*ir.Block]*ir.Block // immediate dominator; entry maps to itself
+	order map[*ir.Block]int       // reverse postorder index
+	kids  map[*ir.Block][]*ir.Block
+}
+
+// NewDomTree computes the dominator tree of f.
+func NewDomTree(f *ir.Func) *DomTree {
+	rpo := ReversePostorder(f)
+	order := make(map[*ir.Block]int, len(rpo))
+	for i, b := range rpo {
+		order[b] = i
+	}
+	preds := Preds(f)
+	entry := f.Entry()
+	idom := map[*ir.Block]*ir.Block{entry: entry}
+
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *ir.Block
+			for _, p := range preds[b] {
+				if _, ok := idom[p]; !ok {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	kids := map[*ir.Block][]*ir.Block{}
+	for b, d := range idom {
+		if b != d {
+			kids[d] = append(kids[d], b)
+		}
+	}
+	return &DomTree{fn: f, idom: idom, order: order, kids: kids}
+}
+
+// IDom returns the immediate dominator of b (nil for the entry block or
+// unreachable blocks).
+func (dt *DomTree) IDom(b *ir.Block) *ir.Block {
+	d := dt.idom[b]
+	if d == b {
+		return nil
+	}
+	return d
+}
+
+// Children returns the blocks immediately dominated by b.
+func (dt *DomTree) Children(b *ir.Block) []*ir.Block { return dt.kids[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (dt *DomTree) Dominates(a, b *ir.Block) bool {
+	if _, ok := dt.idom[b]; !ok {
+		return false // unreachable
+	}
+	for {
+		if a == b {
+			return true
+		}
+		d := dt.idom[b]
+		if d == b {
+			return false // reached entry
+		}
+		b = d
+	}
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (dt *DomTree) StrictlyDominates(a, b *ir.Block) bool {
+	return a != b && dt.Dominates(a, b)
+}
+
+// InstrDominates reports whether the definition point of value v
+// dominates instruction user. Constant leaves and parameters dominate
+// everything; an instruction dominates users in later positions of its
+// own block and in strictly dominated blocks. A phi's value is
+// available from the top of its block.
+func (dt *DomTree) InstrDominates(v ir.Value, user *ir.Instr) bool {
+	def, ok := v.(*ir.Instr)
+	if !ok {
+		return true
+	}
+	db, ub := def.Parent(), user.Parent()
+	if db == nil || ub == nil {
+		return false
+	}
+	if db != ub {
+		return dt.StrictlyDominates(db, ub)
+	}
+	for _, in := range db.Instrs() {
+		if in == def {
+			return true
+		}
+		if in == user {
+			return false
+		}
+	}
+	return false
+}

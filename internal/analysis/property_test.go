@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+)
+
+// Property: ComputeKnownBits is sound on concrete executions — for any
+// randomly generated expression DAG and any concrete inputs, the
+// value's bits agree with the analysis (bits claimed zero are zero,
+// bits claimed one are one). Note this checks the analysis's
+// *concrete* contract; its poison caveat (§5.6) is what
+// IsKnownToBeAPowerOfTwo's NonPoison field tracks.
+func TestKnownBitsSoundOnRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	ops := []ir.Op{ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpAdd, ir.OpMul, ir.OpShl, ir.OpLShr}
+
+	for iter := 0; iter < 300; iter++ {
+		// Build a random straight-line function over i8 with constant
+		// and parameter operands.
+		a, b := ir.NewParam("a", ir.I8), ir.NewParam("b", ir.I8)
+		f := ir.NewFunc("kb", ir.I8, a, b)
+		bd := ir.NewBuilder(f.NewBlock("entry"))
+		vals := []ir.Value{a, b,
+			ir.ConstInt(ir.I8, uint64(rng.Intn(256))),
+			ir.ConstInt(ir.I8, uint64(rng.Intn(256)))}
+		n := 1 + rng.Intn(6)
+		var last *ir.Instr
+		for i := 0; i < n; i++ {
+			op := ops[rng.Intn(len(ops))]
+			x := vals[rng.Intn(len(vals))]
+			var y ir.Value
+			if op.IsShift() {
+				y = ir.ConstInt(ir.I8, uint64(rng.Intn(8))) // in-range shift
+			} else {
+				y = vals[rng.Intn(len(vals))]
+			}
+			last = bd.Binop(op, 0, x, y)
+			vals = append(vals, last)
+		}
+		bd.Ret(last)
+		if err := ir.Verify(f, ir.VerifyFreeze); err != nil {
+			t.Fatal(err)
+		}
+
+		kb := ComputeKnownBits(last)
+		if kb.Zero&kb.One != 0 {
+			t.Fatalf("iteration %d: contradictory known bits %+v\n%s", iter, kb, f)
+		}
+		for trial := 0; trial < 8; trial++ {
+			av := uint64(rng.Intn(256))
+			bv := uint64(rng.Intn(256))
+			out := core.Exec(f,
+				[]core.Value{core.VC(ir.I8, av), core.VC(ir.I8, bv)},
+				core.ZeroOracle{}, core.FreezeOptions())
+			if out.Kind != core.OutRet || !out.Val.IsConcrete() {
+				t.Fatalf("iteration %d: unexpected outcome %v", iter, out)
+			}
+			v := out.Val.Uint()
+			if v&kb.Zero != 0 {
+				t.Fatalf("iteration %d: value %#x has a bit claimed zero (%#x)\n%s", iter, v, kb.Zero, f)
+			}
+			if v&kb.One != kb.One {
+				t.Fatalf("iteration %d: value %#x misses a bit claimed one (%#x)\n%s", iter, v, kb.One, f)
+			}
+		}
+	}
+}
+
+// Property: IsGuaranteedNotToBePoison never claims non-poison for an
+// expression that can actually evaluate to poison. Random expression
+// DAGs with nsw/over-shift hazards and poison-able parameters are
+// enumerated exhaustively at i2.
+func TestNotPoisonSoundOnRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	ops := []ir.Op{ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpAdd, ir.OpMul, ir.OpShl}
+
+	for iter := 0; iter < 200; iter++ {
+		a := ir.NewParam("a", ir.I2)
+		f := ir.NewFunc("np", ir.I2, a)
+		bd := ir.NewBuilder(f.NewBlock("entry"))
+		vals := []ir.Value{a, ir.ConstInt(ir.I2, uint64(rng.Intn(4)))}
+		var last ir.Value = a
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			op := ops[rng.Intn(len(ops))]
+			var attrs ir.Attrs
+			if (op == ir.OpAdd || op == ir.OpMul) && rng.Intn(2) == 0 {
+				attrs = ir.NSW
+			}
+			x := vals[rng.Intn(len(vals))]
+			y := vals[rng.Intn(len(vals))]
+			if rng.Intn(3) == 0 {
+				fz := bd.Freeze(x)
+				vals = append(vals, fz)
+				x = fz
+			}
+			in := bd.Binop(op, attrs, x, y)
+			vals = append(vals, in)
+			last = in
+		}
+		bd.Ret(last)
+
+		claim := IsGuaranteedNotToBePoison(last)
+		if !claim {
+			continue // conservative answers are always fine
+		}
+		// Exhaustively check: no input (including poison) may produce
+		// a poison result.
+		for _, arg := range []core.Value{
+			core.VC(ir.I2, 0), core.VC(ir.I2, 1), core.VC(ir.I2, 2), core.VC(ir.I2, 3),
+			core.VPoison(ir.I2),
+		} {
+			o := core.NewEnumOracle(8, 16)
+			for {
+				o.Reset()
+				out := core.Exec(f, []core.Value{arg}, o, core.FreezeOptions())
+				if out.Kind == core.OutRet && out.Val.AnyPoison() {
+					t.Fatalf("iteration %d: claimed non-poison but got %v on %v\n%s",
+						iter, out, arg, f)
+				}
+				if !o.Next() {
+					break
+				}
+			}
+		}
+	}
+}
+
+// Property: dominator-tree facts hold on random CFGs: the entry
+// dominates every reachable block, immediate dominators dominate their
+// children, and Dominates is transitive along idom chains.
+func TestDomTreeInvariantsOnRandomCFGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for iter := 0; iter < 150; iter++ {
+		f := randomCFG(rng, 2+rng.Intn(6))
+		dt := NewDomTree(f)
+		reach := Reachable(f)
+		for b := range reach {
+			if !dt.Dominates(f.Entry(), b) {
+				t.Fatalf("iteration %d: entry does not dominate %s\n%s", iter, b.Name(), f)
+			}
+			if d := dt.IDom(b); d != nil {
+				if !dt.StrictlyDominates(d, b) {
+					t.Fatalf("iteration %d: idom(%s)=%s does not strictly dominate it", iter, b.Name(), d.Name())
+				}
+				// Every predecessor path must pass through the idom.
+				for _, p := range f.Preds(b) {
+					if reach[p] && !dt.Dominates(d, p) && p != b {
+						t.Fatalf("iteration %d: idom(%s)=%s but pred %s bypasses it\n%s",
+							iter, b.Name(), d.Name(), p.Name(), f)
+					}
+				}
+			}
+		}
+	}
+}
+
+// randomCFG builds a random reducible-ish CFG with forward and back
+// edges (back edges only to strictly earlier blocks).
+func randomCFG(rng *rand.Rand, n int) *ir.Func {
+	f := ir.NewFunc("g", ir.Void)
+	c := ir.NewParam("c", ir.I1)
+	f.Params = append(f.Params, c)
+	blocks := make([]*ir.Block, n)
+	for i := range blocks {
+		blocks[i] = f.NewBlock(fmt.Sprintf("b%d", i))
+	}
+	for i, b := range blocks {
+		bd := ir.NewBuilder(b)
+		switch {
+		case i == n-1 || rng.Intn(4) == 0:
+			bd.Ret(nil)
+		case rng.Intn(2) == 0:
+			t1 := blocks[rng.Intn(n)]
+			t2 := blocks[rng.Intn(n)]
+			bd.CondBr(c, t1, t2)
+		default:
+			bd.Br(blocks[rng.Intn(n)])
+		}
+	}
+	return f
+}

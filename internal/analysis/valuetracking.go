@@ -1,0 +1,122 @@
+package analysis
+
+import "tameir/internal/ir"
+
+// maxPoisonDepth bounds the recursion of IsGuaranteedNotToBePoison.
+const maxPoisonDepth = 8
+
+// IsGuaranteedNotToBePoison conservatively reports whether v can never
+// be poison (nor, under legacy semantics, undef — the query is used to
+// justify speculation, and undef is no safer there). Function
+// parameters may always be poison; the paper's Section 10 notes LLVM
+// could change that, which would strengthen this analysis.
+func IsGuaranteedNotToBePoison(v ir.Value) bool {
+	return notPoison(v, maxPoisonDepth)
+}
+
+func notPoison(v ir.Value, depth int) bool {
+	switch x := v.(type) {
+	case *ir.Const, *ir.Global:
+		return true
+	case *ir.Undef, *ir.Poison:
+		return false
+	case *ir.VecConst:
+		for _, e := range x.Elems {
+			if !notPoison(e, depth) {
+				return false
+			}
+		}
+		return true
+	case *ir.Param:
+		return false
+	case *ir.Instr:
+		if depth == 0 {
+			return false
+		}
+		switch {
+		case x.Op == ir.OpFreeze:
+			return true
+		case x.Op == ir.OpAlloca:
+			return true
+		case x.Op.IsBinop():
+			// Poison-generating attributes can introduce poison even
+			// from clean operands; shifts can over-shift.
+			if x.Attrs != 0 {
+				return false
+			}
+			if x.Op.IsShift() && !shiftAmountInRange(x) {
+				return false
+			}
+			return notPoison(x.Arg(0), depth-1) && notPoison(x.Arg(1), depth-1)
+		case x.Op == ir.OpICmp:
+			return notPoison(x.Arg(0), depth-1) && notPoison(x.Arg(1), depth-1)
+		case x.Op == ir.OpZExt, x.Op == ir.OpSExt, x.Op == ir.OpTrunc, x.Op == ir.OpBitcast:
+			return notPoison(x.Arg(0), depth-1)
+		case x.Op == ir.OpSelect:
+			// Needs condition and both arms clean (the chosen arm is
+			// input-dependent).
+			return notPoison(x.Arg(0), depth-1) && notPoison(x.Arg(1), depth-1) && notPoison(x.Arg(2), depth-1)
+		case x.Op == ir.OpGEP:
+			if x.Attrs&ir.NSW != 0 {
+				return false
+			}
+			return notPoison(x.Arg(0), depth-1) && notPoison(x.Arg(1), depth-1)
+		case x.Op == ir.OpPhi:
+			// Conservative: would need edge-sensitive reasoning.
+			return false
+		}
+		return false
+	}
+	return false
+}
+
+func shiftAmountInRange(x *ir.Instr) bool {
+	c, ok := x.Arg(1).(*ir.Const)
+	return ok && c.Bits < uint64(x.Ty.Bits)
+}
+
+// IsSpeculatable reports whether executing in out of its original
+// control-flow context can introduce UB or side effects. Divisions and
+// remainders may trap (divisor zero or poison), memory operations may
+// fault, calls may do anything — none are speculatable. This is the
+// gate LICM uses (§3.2: hoisting 1/k past the k != 0 check was
+// unsound precisely because udiv is not speculatable when k may be
+// undef).
+func IsSpeculatable(in *ir.Instr) bool {
+	switch {
+	case in.Op.IsDivRem():
+		return false
+	case in.Op.HasSideEffects():
+		return false
+	case in.Op == ir.OpLoad:
+		return false
+	case in.Op == ir.OpPhi:
+		return false
+	}
+	return true
+}
+
+// IsSpeculatableWithNonPoisonDivisor refines IsSpeculatable for
+// divisions whose divisor is provably non-zero AND non-poison — the
+// "up to" API of §5.6 in action.
+func IsSpeculatableWithNonPoisonDivisor(in *ir.Instr) bool {
+	if !in.Op.IsDivRem() {
+		return IsSpeculatable(in)
+	}
+	d := in.Arg(1)
+	kb := ComputeKnownBits(d)
+	nonZero := kb.One != 0
+	if c, ok := d.(*ir.Const); ok {
+		nonZero = c.Bits != 0
+		// Signed division also traps on INT_MIN / -1; a constant
+		// divisor of -1 is only safe for unsigned ops.
+		if (in.Op == ir.OpSDiv || in.Op == ir.OpSRem) && c.IsAllOnes() {
+			return false
+		}
+	} else if in.Op == ir.OpSDiv || in.Op == ir.OpSRem {
+		// Non-constant divisor: the numerator could be INT_MIN and the
+		// divisor -1; stay conservative.
+		return false
+	}
+	return nonZero && IsGuaranteedNotToBePoison(d)
+}

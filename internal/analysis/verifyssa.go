@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"fmt"
+
+	"tameir/internal/ir"
+)
+
+// VerifySSA checks the dominance property the structural verifier in
+// package ir cannot (it would need a dominator tree): every use of an
+// instruction result is dominated by its definition. Phi uses are
+// checked against the incoming edge's predecessor. Unreachable blocks
+// are exempt (nothing executes there, and passes routinely leave them
+// for cleanup).
+func VerifySSA(f *ir.Func) error {
+	dt := NewDomTree(f)
+	reach := Reachable(f)
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, in := range b.Instrs() {
+			if in.Op == ir.OpPhi {
+				for i := 0; i < in.NumArgs(); i++ {
+					def, ok := in.Arg(i).(*ir.Instr)
+					if !ok {
+						continue
+					}
+					pred := in.BlockArg(i)
+					if !reach[pred] {
+						continue
+					}
+					term := pred.Terminator()
+					if term == nil || !dt.InstrDominates(def, term) {
+						return fmt.Errorf("analysis: phi %%%s in %s: incoming %%%s does not dominate edge from %s",
+							in.Name(), b.Name(), def.Name(), pred.Name())
+					}
+				}
+				continue
+			}
+			for _, a := range in.Args() {
+				def, ok := a.(*ir.Instr)
+				if !ok {
+					continue
+				}
+				if !dt.InstrDominates(def, in) {
+					return fmt.Errorf("analysis: %s in %s uses %%%s which does not dominate it",
+						in, b.Name(), def.Name())
+				}
+			}
+		}
+	}
+	return nil
+}

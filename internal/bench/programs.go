@@ -1,0 +1,756 @@
+// Package bench is the evaluation harness: it reproduces the paper's
+// Section 7 measurements (compile time, compiler memory, object code
+// size, run time — Figure 6) and the Section 6 validation experiment.
+//
+// SPEC CPU 2006 sources are proprietary, so each benchmark is a
+// synthetic MinC workload named after the SPEC program whose dominant
+// kernel it imitates (DESIGN.md documents the substitution). The
+// floating-point (CFP) programs use fixed-point arithmetic — the
+// paper's UB story is entirely about integers, and what matters for
+// the measured deltas is the mix of loops, bit fields, and branches.
+// The LNT-style micro benchmarks include "Stanford Queens" and
+// "Shootout nestedloop", the two programs the paper calls out by name.
+package bench
+
+// Program is one benchmark.
+type Program struct {
+	Name string
+	// Suite is "CINT", "CFP" or "LNT".
+	Suite string
+	// Src is the MinC source. main() returns a checksum.
+	Src string
+	// Want is the expected checksum (int32), used to detect
+	// miscompilation during the run-time experiment.
+	Want int32
+}
+
+// Programs is the benchmark corpus.
+var Programs = []Program{
+	// --- SPEC CINT 2006 stand-ins ---
+	{Name: "perlbench", Suite: "CINT", Want: 8182, Src: `
+// String-hash interpreter kernel: hash a corpus of byte "words" into
+// buckets and walk the chains.
+int buckets[64];
+int chain[256];
+int keys[256];
+int main() {
+    int nkeys = 200;
+    for (int i = 0; i < 64; i += 1) buckets[i] = -1;
+    for (int i = 0; i < nkeys; i += 1) {
+        unsigned h = 2166136261;
+        int len = 3 + i % 9;
+        for (int j = 0; j < len; j += 1) {
+            h = (h ^ (i * 31 + j * 7)) * 16777619;
+        }
+        int b = (int)(h % 64);
+        keys[i] = (int)(h % 9973);
+        chain[i] = buckets[b];
+        buckets[b] = i;
+    }
+    int hits = 0; int probes = 0;
+    for (int q = 0; q < 500; q += 1) {
+        unsigned h = 2166136261;
+        int i = q % nkeys;
+        int len = 3 + i % 9;
+        for (int j = 0; j < len; j += 1) {
+            h = (h ^ (i * 31 + j * 7)) * 16777619;
+        }
+        int b = (int)(h % 64);
+        int cur = buckets[b];
+        while (cur >= 0) {
+            probes += 1;
+            if (keys[cur] == (int)(h % 9973)) { hits += 1; cur = -1; }
+            else cur = chain[cur];
+        }
+    }
+    return hits * 13 + probes;
+}`},
+
+	{Name: "bzip2", Suite: "CINT", Want: 20021, Src: `
+// Run-length + move-to-front coding of a synthetic block.
+char block[4096];
+char mtf[256];
+int main() {
+    int n = 4096;
+    unsigned seed = 12345;
+    for (int i = 0; i < n; i += 1) {
+        seed = seed * 1103515245 + 12345;
+        int v = (int)((seed >> 16) % 7);
+        block[i] = (char)(v * v);
+    }
+    for (int i = 0; i < 256; i += 1) mtf[i] = (char)i;
+    int out = 0; int runs = 0;
+    int i = 0;
+    while (i < n) {
+        char c = block[i];
+        int run = 1;
+        while (i + run < n && block[i + run] == c) run += 1;
+        // move-to-front of c
+        int pos = 0;
+        while (mtf[pos] != c) pos += 1;
+        for (int k = pos; k > 0; k -= 1) mtf[k] = mtf[k - 1];
+        mtf[0] = c;
+        out += pos + run % 5;
+        runs += 1;
+        i += run;
+    }
+    return out + runs;
+}`},
+
+	{Name: "gcc", Suite: "CINT", Want: 27602, Src: `
+// Compiler-ish kernel: an RTL-like node pool with *bit fields* (the
+// paper: the gcc benchmark had 3993 freeze instructions, 0.29% of IR,
+// "since it contains a large number of bit-field operations").
+struct rtx {
+    int code : 8;
+    int mode : 5;
+    unsigned volatil : 1;
+    unsigned in_struct : 1;
+    unsigned used : 1;
+    int arg0;
+    int arg1;
+};
+struct rtx pool[512];
+int main() {
+    int n = 512;
+    for (int i = 0; i < n; i += 1) {
+        pool[i].code = i % 97;
+        pool[i].mode = i % 29;
+        pool[i].volatil = (unsigned)(i % 3 == 0);
+        pool[i].in_struct = (unsigned)(i % 5 == 0);
+        pool[i].used = 0;
+        pool[i].arg0 = i;
+        pool[i].arg1 = i * 2;
+    }
+    // "Optimization" passes over the pool.
+    int folded = 0;
+    for (int pass = 0; pass < 4; pass += 1) {
+        for (int i = 0; i + 1 < n; i += 1) {
+            if (pool[i].code == pool[i + 1].code && pool[i].mode == pool[i + 1].mode) {
+                pool[i].used = 1;
+                pool[i].arg1 = pool[i].arg0 + pool[i + 1].arg0;
+                folded += 1;
+            }
+            if (pool[i].volatil == 0 && pool[i].in_struct != 0) {
+                pool[i].mode = (pool[i].mode + 1) % 29;
+            }
+        }
+    }
+    int sum = 0;
+    for (int i = 0; i < n; i += 1) {
+        sum += pool[i].code + pool[i].mode + (int)pool[i].used + pool[i].arg1 % 17;
+    }
+    return sum + folded;
+}`},
+
+	{Name: "mcf", Suite: "CINT", Want: 620, Src: `
+// Bellman-Ford relaxation over a synthetic flow network.
+int dist[64];
+int head[64];
+int to[256];
+int cost[256];
+int nexte[256];
+int main() {
+    int nv = 64; int ne = 0;
+    for (int i = 0; i < nv; i += 1) head[i] = -1;
+    for (int i = 0; i < nv; i += 1) {
+        for (int k = 1; k <= 3; k += 1) {
+            int j = (i * 7 + k * 11) % nv;
+            to[ne] = j;
+            cost[ne] = 1 + (i * k) % 9;
+            nexte[ne] = head[i];
+            head[i] = ne;
+            ne += 1;
+        }
+    }
+    for (int i = 0; i < nv; i += 1) dist[i] = 1000000;
+    dist[0] = 0;
+    for (int it = 0; it < nv; it += 1) {
+        int changed = 0;
+        for (int u = 0; u < nv; u += 1) {
+            if (dist[u] == 1000000) continue;
+            int e = head[u];
+            while (e >= 0) {
+                int nd = dist[u] + cost[e];
+                if (nd < dist[to[e]]) { dist[to[e]] = nd; changed = 1; }
+                e = nexte[e];
+            }
+        }
+        if (changed == 0) it = nv;
+    }
+    int s = 0;
+    for (int i = 0; i < nv; i += 1) s += dist[i];
+    return s;
+}`},
+
+	{Name: "gobmk", Suite: "CINT", Want: 3072, Src: `
+// Board-scan kernel: liberties-like counting on a 19x19 grid.
+char board[361];
+int main() {
+    for (int i = 0; i < 361; i += 1) board[i] = (char)((i * i + 3 * i) % 3);
+    int score = 0;
+    for (int gen = 0; gen < 8; gen += 1) {
+        for (int r = 1; r < 18; r += 1) {
+            for (int c = 1; c < 18; c += 1) {
+                int idx = r * 19 + c;
+                int me = board[idx];
+                int libs = 0;
+                if (board[idx - 1] == 0) libs += 1;
+                if (board[idx + 1] == 0) libs += 1;
+                if (board[idx - 19] == 0) libs += 1;
+                if (board[idx + 19] == 0) libs += 1;
+                if (me != 0 && libs == 0) board[idx] = 0;
+                score += libs * me;
+            }
+        }
+    }
+    return score;
+}`},
+
+	{Name: "hmmer", Suite: "CINT", Want: 42544, Src: `
+// Viterbi-style dynamic programming over a profile.
+int vrow[128];
+int prow[128];
+int main() {
+    int m = 128;
+    for (int j = 0; j < m; j += 1) prow[j] = (j * 3) % 23;
+    int best = 0;
+    for (int i = 1; i < 96; i += 1) {
+        for (int j = 1; j < m; j += 1) {
+            int match = prow[j - 1] + ((i * j) % 7);
+            int del = prow[j] - 2;
+            int ins = vrow[j - 1] - 1;
+            int v = match;
+            if (del > v) v = del;
+            if (ins > v) v = ins;
+            vrow[j] = v;
+            if (v > best) best = v;
+        }
+        for (int j = 0; j < m; j += 1) prow[j] = vrow[j];
+    }
+    int s = 0;
+    for (int j = 0; j < m; j += 1) s += vrow[j] % 97;
+    return best * 100 + s;
+}`},
+
+	{Name: "sjeng", Suite: "CINT", Want: 2829, Src: `
+// Alpha-beta-ish game tree search with a hand-rolled stack.
+int stackv[512];
+int main() {
+    int sp = 0;
+    stackv[sp] = 1; sp += 1;
+    unsigned seed = 99;
+    int nodes = 0; int best = -100000;
+    while (sp > 0 && nodes < 4000) {
+        sp -= 1;
+        int pos = stackv[sp];
+        nodes += 1;
+        seed = seed * 69069 + 1;
+        int eval = (int)(seed % 2001) - 1000 + pos % 13;
+        if (eval > best) best = eval;
+        int depth = 0;
+        int p = pos;
+        while (p > 1) { p /= 4; depth += 1; }
+        if (depth < 5) {
+            for (int mv = 0; mv < 3; mv += 1) {
+                if (sp < 512) { stackv[sp] = pos * 4 + mv; sp += 1; }
+            }
+        }
+    }
+    return best + nodes * 5;
+}`},
+
+	{Name: "libquantum", Suite: "CINT", Want: 98416, Src: `
+// Quantum gate simulation on basis-state bitmasks.
+unsigned reg_state[256];
+int main() {
+    int n = 256;
+    for (int i = 0; i < n; i += 1) reg_state[i] = (unsigned)i;
+    // Toffoli / CNOT / Hadamard-mask cascades.
+    for (int pass = 0; pass < 16; pass += 1) {
+        int ctrl = pass % 7;
+        int tgt = (pass * 3 + 1) % 7;
+        for (int i = 0; i < n; i += 1) {
+            unsigned s = reg_state[i];
+            if ((s >> ctrl & 1) != 0) s = s ^ ((unsigned)1 << tgt);
+            s = s ^ (s >> 3);
+            reg_state[i] = s & 0xff;
+        }
+    }
+    int sum = 0;
+    for (int i = 0; i < n; i += 1) sum += (int)reg_state[i] * (i % 5 + 1);
+    return sum;
+}
+`},
+
+	{Name: "h264ref", Suite: "CINT", Want: 318912, Src: `
+// Sum-of-absolute-differences block search.
+char frame0[1024];
+char frame1[1024];
+int main() {
+    for (int i = 0; i < 1024; i += 1) {
+        frame0[i] = (char)((i * 7) % 251);
+        frame1[i] = (char)((i * 7 + i / 32) % 251);
+    }
+    int bestTotal = 0;
+    for (int by = 0; by < 3; by += 1) {
+        for (int bx = 0; bx < 3; bx += 1) {
+            int best = 1000000;
+            for (int dy = 0; dy < 2; dy += 1) {
+                for (int dx = 0; dx < 2; dx += 1) {
+                    int sad = 0;
+                    for (int y = 0; y < 8; y += 1) {
+                        for (int x = 0; x < 8; x += 1) {
+                            int a = frame0[(by * 8 + y) * 32 + bx * 8 + x];
+                            int b = frame1[(by * 8 + y + dy) * 32 + bx * 8 + x + dx];
+                            int d = a - b;
+                            if (d < 0) d = -d;
+                            sad += d;
+                        }
+                    }
+                    if (sad < best) best = sad;
+                }
+            }
+            bestTotal += best * 64;
+        }
+    }
+    return bestTotal;
+}`},
+
+	{Name: "omnetpp", Suite: "CINT", Want: 25885, Src: `
+// Discrete event simulation with a binary-heap event queue.
+int heapt[512];
+int heapid[512];
+int hn;
+int heap_push(int t, int id) {
+    hn += 1;
+    int c = hn;
+    heapt[c] = t; heapid[c] = id;
+    while (c > 1 && heapt[c / 2] > heapt[c]) {
+        int tt = heapt[c]; heapt[c] = heapt[c / 2]; heapt[c / 2] = tt;
+        int ti = heapid[c]; heapid[c] = heapid[c / 2]; heapid[c / 2] = ti;
+        c /= 2;
+    }
+    return 0;
+}
+int heap_pop() {
+    int top = heapt[1] * 1024 + heapid[1];
+    heapt[1] = heapt[hn]; heapid[1] = heapid[hn]; hn -= 1;
+    int c = 1;
+    while (1) {
+        int l = c * 2;
+        if (l > hn) break;
+        int sm = l;
+        if (l + 1 <= hn && heapt[l + 1] < heapt[l]) sm = l + 1;
+        if (heapt[sm] >= heapt[c]) break;
+        int tt = heapt[c]; heapt[c] = heapt[sm]; heapt[sm] = tt;
+        int ti = heapid[c]; heapid[c] = heapid[sm]; heapid[sm] = ti;
+        c = sm;
+    }
+    return top;
+}
+int main() {
+    unsigned seed = 7;
+    hn = 0;
+    for (int i = 0; i < 20; i += 1) {
+        seed = seed * 1103515245 + 12345;
+        heap_push((int)(seed % 1000), i);
+    }
+    int processed = 0; int now = 0;
+    while (hn > 0 && processed < 5000) {
+        int ev = heap_pop();
+        now = ev / 1024;
+        int id = ev % 1024;
+        processed += 1;
+        if (processed % 3 != 0 && hn < 500) {
+            seed = seed * 69069 + 1;
+            heap_push(now + 1 + (int)(seed % 50), id);
+        }
+    }
+    return now * 25 + processed;
+}`},
+
+	{Name: "astar", Suite: "CINT", Want: 1583, Src: `
+// Grid path search with a cost frontier (Dijkstra-flavoured).
+int gridw[256];
+int costg[256];
+int main() {
+    int w = 16;
+    for (int i = 0; i < 256; i += 1) {
+        gridw[i] = 1 + (i * 31 % 7);
+        costg[i] = 1000000;
+    }
+    costg[0] = 0;
+    // Sweep relaxations (no heap: bounded passes).
+    for (int pass = 0; pass < 24; pass += 1) {
+        for (int y = 0; y < w; y += 1) {
+            for (int x = 0; x < w; x += 1) {
+                int i = y * w + x;
+                int c = costg[i];
+                if (x > 0 && costg[i - 1] + gridw[i] < c) c = costg[i - 1] + gridw[i];
+                if (x < w - 1 && costg[i + 1] + gridw[i] < c) c = costg[i + 1] + gridw[i];
+                if (y > 0 && costg[i - w] + gridw[i] < c) c = costg[i - w] + gridw[i];
+                if (y < w - 1 && costg[i + w] + gridw[i] < c) c = costg[i + w] + gridw[i];
+                costg[i] = c;
+            }
+        }
+    }
+    int s = 0;
+    for (int i = 0; i < 256; i += 17) s += costg[i];
+    return s + costg[255] * 10;
+}`},
+
+	{Name: "xalancbmk", Suite: "CINT", Want: 24580, Src: `
+// Tree transformation: preorder renumbering + attribute propagation
+// over an implicit binary tree in arrays.
+int tag[1024];
+int attr[1024];
+int out[1024];
+int main() {
+    int n = 1023;
+    for (int i = 1; i <= n; i += 1) {
+        tag[i] = i % 11;
+        attr[i] = (i * 13) % 101;
+    }
+    // Propagate attributes down: child inherits transformed parent.
+    for (int i = 2; i <= n; i += 1) {
+        int parent = i / 2;
+        if (tag[i] == tag[parent]) attr[i] += attr[parent] / 2;
+        else attr[i] ^= attr[parent] & 0x3f;
+    }
+    // Preorder walk with an explicit stack, emitting matched nodes.
+    int stk[64];
+    int sp = 0; int emitted = 0; int acc = 0;
+    stk[sp] = 1; sp += 1;
+    while (sp > 0) {
+        sp -= 1;
+        int node = stk[sp];
+        if (tag[node] % 3 == 1) {
+            out[emitted] = attr[node];
+            acc += attr[node];
+            emitted += 1;
+        }
+        int l = node * 2;
+        int r = node * 2 + 1;
+        if (r <= n && sp < 63) { stk[sp] = r; sp += 1; }
+        if (l <= n && sp < 63) { stk[sp] = l; sp += 1; }
+    }
+    return acc + emitted * 7;
+}`},
+
+	// --- SPEC CFP 2006 stand-ins (fixed-point) ---
+	{Name: "milc", Suite: "CFP", Want: 191353, Src: `
+// SU(3)-flavoured 3x3 fixed-point matrix multiplications on a lattice.
+long lat[288]; // 32 sites x 9 entries, Q16 fixed point
+int main() {
+    for (int i = 0; i < 288; i += 1) lat[i] = ((long)(i % 17) << 16) / 16;
+    long tr = 0;
+    for (int it = 0; it < 12; it += 1) {
+        for (int s = 0; s < 31; s += 1) {
+            // c = a * b (3x3 fixed point), a = site s, b = site s+1.
+            long c[9];
+            for (int i = 0; i < 3; i += 1) {
+                for (int j = 0; j < 3; j += 1) {
+                    long acc = 0;
+                    for (int k = 0; k < 3; k += 1) {
+                        acc += (lat[s * 9 + i * 3 + k] * lat[(s + 1) * 9 + k * 3 + j]) >> 16;
+                    }
+                    c[i * 3 + j] = acc;
+                }
+            }
+            for (int e = 0; e < 9; e += 1) lat[s * 9 + e] = (lat[s * 9 + e] + (c[e] & 0xfffff)) / 2;
+        }
+    }
+    for (int s = 0; s < 32; s += 1) tr += lat[s * 9] + lat[s * 9 + 4] + lat[s * 9 + 8];
+    return (int)(tr >> 8);
+}`},
+
+	{Name: "namd", Suite: "CFP", Want: 7216, Src: `
+// Pairwise force accumulation (n-body, Q16 fixed point).
+long px[64]; long py[64];
+long fx[64]; long fy[64];
+int main() {
+    for (int i = 0; i < 64; i += 1) {
+        px[i] = ((long)(i % 8) << 16) + i * 100;
+        py[i] = ((long)(i / 8) << 16) + i * 57;
+    }
+    for (int step = 0; step < 4; step += 1) {
+        for (int i = 0; i < 64; i += 1) { fx[i] = 0; fy[i] = 0; }
+        for (int i = 0; i < 64; i += 1) {
+            for (int j = i + 1; j < 64; j += 1) {
+                long dx = px[j] - px[i];
+                long dy = py[j] - py[i];
+                long r2 = ((dx * dx) >> 16) + ((dy * dy) >> 16) + 256;
+                long f = ((long)1 << 28) / r2;
+                fx[i] += (f * dx) >> 20; fy[i] += (f * dy) >> 20;
+                fx[j] -= (f * dx) >> 20; fy[j] -= (f * dy) >> 20;
+            }
+        }
+        for (int i = 0; i < 64; i += 1) { px[i] += fx[i] >> 6; py[i] += fy[i] >> 6; }
+    }
+    long s = 0;
+    for (int i = 0; i < 64; i += 1) s += (px[i] + py[i]) >> 12;
+    return (int)s;
+}`},
+
+	{Name: "dealII", Suite: "CFP", Want: 48181, Src: `
+// 5-point stencil relaxation (finite elements, Q8 fixed point).
+int u[1024];
+int unew[1024];
+int main() {
+    int w = 32;
+    for (int i = 0; i < 1024; i += 1) u[i] = (i % 7) << 8;
+    for (int it = 0; it < 20; it += 1) {
+        for (int y = 1; y < w - 1; y += 1) {
+            for (int x = 1; x < w - 1; x += 1) {
+                int i = y * w + x;
+                unew[i] = (u[i - 1] + u[i + 1] + u[i - w] + u[i + w]) / 4;
+            }
+        }
+        for (int y = 1; y < w - 1; y += 1)
+            for (int x = 1; x < w - 1; x += 1)
+                u[y * w + x] = unew[y * w + x];
+    }
+    int s = 0;
+    for (int i = 0; i < 1024; i += 1) s += u[i] >> 4;
+    return s;
+}`},
+
+	{Name: "soplex", Suite: "CFP", Want: 817998, Src: `
+// Simplex-style pivoting on a small fixed-point tableau (8x12).
+long tab[96];
+int main() {
+    int rows = 8; int cols = 12;
+    for (int r = 0; r < rows; r += 1)
+        for (int c = 0; c < cols; c += 1)
+            tab[r * cols + c] = (long)((r * 5 + c * 3) % 13 + 1) << 12;
+    for (int pivot = 0; pivot < 6; pivot += 1) {
+        int pc = 0; long bestv = 0;
+        for (int c = 0; c < cols; c += 1)
+            if (tab[(rows - 1) * cols + c] > bestv) { bestv = tab[(rows - 1) * cols + c]; pc = c; }
+        int pr = pivot % rows;
+        long pv = tab[pr * cols + pc];
+        if (pv == 0) pv = 1;
+        for (int r = 0; r < rows; r += 1) {
+            if (r == pr) continue;
+            long factor = (tab[r * cols + pc] << 12) / pv;
+            for (int c = 0; c < cols; c += 1)
+                tab[r * cols + c] -= (factor * tab[pr * cols + c]) >> 12;
+        }
+    }
+    long s = 0;
+    for (int r = 0; r < rows; r += 1)
+        for (int c = 0; c < cols; c += 1)
+            s += tab[r * cols + c] >> 10;
+    int si = (int)s;
+    if (si < 0) si = -si;
+    return si;
+}`},
+
+	{Name: "povray", Suite: "CFP", Want: 27472, Src: `
+// Ray-sphere intersection over a pixel grid (Q12 fixed point).
+int image[256];
+int main() {
+    long cx = 8 << 12; long cy = 8 << 12; long cz = 20 << 12;
+    long r2 = (long)36 << 12;
+    int hits = 0;
+    for (int py = 0; py < 16; py += 1) {
+        for (int px = 0; px < 16; px += 1) {
+            long dx = ((long)px << 12) - cx;
+            long dy = ((long)py << 12) - cy;
+            // Ray along z: closest approach distance^2 in xy plane.
+            long d2 = ((dx * dx) >> 12) + ((dy * dy) >> 12);
+            if (d2 < r2) {
+                long depth = cz - isqrt(((r2 - d2) << 12));
+                image[py * 16 + px] = (int)(depth >> 8);
+                hits += 1;
+            } else {
+                image[py * 16 + px] = 0;
+            }
+        }
+    }
+    int s = hits * 100;
+    for (int i = 0; i < 256; i += 1) s += image[i] & 0xff;
+    return s;
+}
+long isqrt(long v) {
+    long x = v; long y = 1 << 12;
+    for (int i = 0; i < 16; i += 1) {
+        if (x <= y) i = 16;
+        else { x = (x + y) / 2; y = (v << 12) / x; }
+    }
+    return x;
+}`},
+
+	{Name: "lbm", Suite: "CFP", Want: 146436, Src: `
+// Lattice-Boltzmann-ish streaming + collision on a 1D lattice.
+long f0[256]; long f1[256]; long f2[256];
+int main() {
+    for (int i = 0; i < 256; i += 1) {
+        f0[i] = (long)4 << 10;
+        f1[i] = (long)((i % 5) + 1) << 10;
+        f2[i] = (long)((i % 3) + 1) << 10;
+    }
+    for (int t = 0; t < 16; t += 1) {
+        // Stream.
+        for (int i = 255; i > 0; i -= 1) f1[i] = f1[i - 1];
+        for (int i = 0; i < 255; i += 1) f2[i] = f2[i + 1];
+        // Collide toward equilibrium.
+        for (int i = 0; i < 256; i += 1) {
+            long rho = f0[i] + f1[i] + f2[i];
+            long eq = rho / 3;
+            f0[i] += (eq - f0[i]) / 4;
+            f1[i] += (eq - f1[i]) / 4;
+            f2[i] += (eq - f2[i]) / 4;
+        }
+    }
+    long m = 0;
+    for (int i = 0; i < 256; i += 1) m += f0[i] + f1[i] + f2[i];
+    return (int)(m >> 4);
+}`},
+
+	{Name: "sphinx3", Suite: "CFP", Want: 65173, Src: `
+// Gaussian-mixture scoring: dot products + max over senones.
+int feat[40];
+int mean[320]; // 8 senones x 40 dims
+int main() {
+    for (int d = 0; d < 40; d += 1) feat[d] = (d * 17) % 61;
+    for (int i = 0; i < 320; i += 1) mean[i] = (i * 23) % 61;
+    int total = 0;
+    for (int frame = 0; frame < 50; frame += 1) {
+        int best = -1000000;
+        for (int s = 0; s < 8; s += 1) {
+            int score = 0;
+            for (int d = 0; d < 40; d += 1) {
+                int diff = feat[d] - mean[s * 40 + d] + frame % 3;
+                score -= diff * diff >> 2;
+            }
+            if (score > best) best = score;
+        }
+        total += best / 4;
+        for (int d = 0; d < 40; d += 1) feat[d] = (feat[d] + frame) % 61;
+    }
+    if (total < 0) total = -total;
+    return total;
+}`},
+
+	// --- LNT-style micro benchmarks ---
+	{Name: "queens", Suite: "LNT", Want: 73784, Src: `
+// Stanford Queens — the paper's register-allocation anecdote (§7.2).
+int rowsOk[8];
+int diag1[15];
+int diag2[15];
+int solutions;
+int place(int col) {
+    if (col == 8) { solutions += 1; return 0; }
+    for (int row = 0; row < 8; row += 1) {
+        if (rowsOk[row] == 0 && diag1[row + col] == 0 && diag2[row - col + 7] == 0) {
+            rowsOk[row] = 1; diag1[row + col] = 1; diag2[row - col + 7] = 1;
+            place(col + 1);
+            rowsOk[row] = 0; diag1[row + col] = 0; diag2[row - col + 7] = 0;
+        }
+    }
+    return 0;
+}
+int main() {
+    for (int rep = 0; rep < 8; rep += 1) {
+        solutions = 0;
+        place(0);
+    }
+    return solutions * 802; // 92 solutions
+}`},
+
+	{Name: "nestedloop", Suite: "LNT", Want: 2097152, Src: `
+// Shootout nestedloop — the paper's +19% compile-time outlier, where
+// jump threading failed to kick in because of freeze.
+int main() {
+    int n = 8;
+    int x = 0;
+    for (int a = 0; a < n; a += 1)
+        for (int b = 0; b < n; b += 1)
+            for (int c = 0; c < n; c += 1)
+                for (int d = 0; d < n; d += 1)
+                    for (int e = 0; e < n; e += 1)
+                        for (int f = 0; f < n; f += 1)
+                            for (int g = 0; g < n; g += 1)
+                                x += 1;
+    return x;
+}`},
+
+	{Name: "sieve", Suite: "LNT", Want: 1029, Src: `
+char composite[8192];
+int main() {
+    int n = 8192;
+    int count = 0;
+    for (int i = 2; i < n; i += 1) {
+        if (composite[i] == 0) {
+            count += 1;
+            for (int j = i + i; j < n; j += i) composite[j] = 1;
+        }
+    }
+    return count + composite[100];
+}`},
+
+	{Name: "ackermann", Suite: "LNT", Want: 502, Src: `
+int ack(int m, int n) {
+    if (m == 0) return n + 1;
+    if (n == 0) return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+}
+int main() { return ack(2, 3) * 49 + ack(3, 3); }`},
+
+	{Name: "matmul", Suite: "LNT", Want: 48575, Src: `
+int a[256]; int b[256]; int c[256];
+int main() {
+    int n = 16;
+    for (int i = 0; i < 256; i += 1) { a[i] = i % 9; b[i] = (i * 3) % 7; }
+    for (int i = 0; i < n; i += 1)
+        for (int j = 0; j < n; j += 1) {
+            int acc = 0;
+            for (int k = 0; k < n; k += 1) acc += a[i * n + k] * b[k * n + j];
+            c[i * n + j] = acc;
+        }
+    int s = 0;
+    for (int i = 0; i < 256; i += 1) s += c[i];
+    return s;
+}`},
+
+	{Name: "bitfields", Suite: "LNT", Want: 24320, Src: `
+// Stress the §5.3 lowering: dense bit-field read-modify-write.
+struct packet {
+    unsigned version : 4;
+    unsigned ihl : 4;
+    unsigned dscp : 6;
+    unsigned ecn : 2;
+    int length;
+};
+struct packet queue[128];
+int main() {
+    for (int i = 0; i < 128; i += 1) {
+        queue[i].version = 4;
+        queue[i].ihl = (unsigned)(5 + i % 3);
+        queue[i].dscp = (unsigned)(i % 64);
+        queue[i].ecn = (unsigned)(i % 4);
+        queue[i].length = 20 + i;
+    }
+    int s = 0;
+    for (int pass = 0; pass < 4; pass += 1) {
+        for (int i = 0; i < 128; i += 1) {
+            queue[i].dscp = (queue[i].dscp + 1) & 63;
+            if (queue[i].ecn == 3) queue[i].ecn = 0;
+            s += (int)queue[i].version + (int)queue[i].ihl + (int)queue[i].dscp + queue[i].length % 13;
+        }
+    }
+    return s;
+}`},
+}
+
+// ByName returns the program with the given name, or nil.
+func ByName(name string) *Program {
+	for i := range Programs {
+		if Programs[i].Name == name {
+			return &Programs[i]
+		}
+	}
+	return nil
+}

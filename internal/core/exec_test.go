@@ -1,0 +1,721 @@
+package core
+
+import (
+	"testing"
+
+	"tameir/internal/ir"
+)
+
+// run executes a single-function module source with the given args.
+func run(t *testing.T, src string, opts Options, o Oracle, args ...Value) Outcome {
+	t.Helper()
+	m, err := ir.ParseModule(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	mode := ir.VerifyLegacy
+	if opts.Mode == Freeze {
+		mode = ir.VerifyFreeze
+	}
+	if err := ir.VerifyModule(m, mode); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return Exec(m.Funcs[len(m.Funcs)-1], args, o, opts)
+}
+
+func wantRet(t *testing.T, out Outcome, want Value) {
+	t.Helper()
+	if out.Kind != OutRet {
+		t.Fatalf("outcome %v, want ret", out)
+	}
+	if !out.Val.Equal(want) {
+		t.Fatalf("returned %v, want %v", out.Val, want)
+	}
+}
+
+func wantUB(t *testing.T, out Outcome) {
+	t.Helper()
+	if out.Kind != OutUB {
+		t.Fatalf("outcome %v, want UB", out)
+	}
+}
+
+func TestArithmeticBasics(t *testing.T) {
+	src := `define i32 @f(i32 %a, i32 %b) {
+entry:
+  %s = add i32 %a, %b
+  %d = sub i32 %s, %b
+  %m = mul i32 %d, 3
+  %q = udiv i32 %m, 2
+  ret i32 %q
+}`
+	out := run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 10), VC(ir.I32, 5))
+	wantRet(t, out, VC(ir.I32, 15)) // ((10+5-5)*3)/2 = 15
+}
+
+func TestWrapAroundUnsigned(t *testing.T) {
+	src := `define i8 @f(i8 %a) {
+entry:
+  %r = add i8 %a, 1
+  ret i8 %r
+}`
+	out := run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I8, 255))
+	wantRet(t, out, VC(ir.I8, 0))
+}
+
+func TestNSWOverflowIsPoison(t *testing.T) {
+	src := `define i8 @f(i8 %a) {
+entry:
+  %r = add nsw i8 %a, 1
+  ret i8 %r
+}`
+	out := run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I8, 127)) // INT8_MAX
+	wantRet(t, out, VPoison(ir.I8))
+	// No overflow: plain result.
+	out = run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I8, 5))
+	wantRet(t, out, VC(ir.I8, 6))
+}
+
+func TestNUWOverflowIsPoison(t *testing.T) {
+	src := `define i8 @f(i8 %a) {
+entry:
+  %r = add nuw i8 %a, 1
+  ret i8 %r
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I8, 255)), VPoison(ir.I8))
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I8, 127)), VC(ir.I8, 128))
+}
+
+func TestMulNswWidths(t *testing.T) {
+	// i64 nsw mul overflow must be detected without int64 tricks.
+	src := `define i64 @f(i64 %a, i64 %b) {
+entry:
+  %r = mul nsw i64 %a, %b
+  ret i64 %r
+}`
+	big := uint64(1) << 62
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I64, big), VC(ir.I64, 4)), VPoison(ir.I64))
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I64, 3), VC(ir.I64, 5)), VC(ir.I64, 15))
+	// min * -1 overflows signed.
+	minI64 := uint64(1) << 63
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I64, minI64), VC(ir.I64, ^uint64(0))), VPoison(ir.I64))
+}
+
+func TestDivisionUB(t *testing.T) {
+	src := `define i32 @f(i32 %a, i32 %b) {
+entry:
+  %r = sdiv i32 %a, %b
+  ret i32 %r
+}`
+	wantUB(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 1), VC(ir.I32, 0)))
+	// INT_MIN / -1 overflows: UB.
+	wantUB(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 1<<31), VC(ir.I32, 0xffffffff)))
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 0xfffffff8), VC(ir.I32, 2)), VC(ir.I32, 0xfffffffc)) // -8/2 = -4
+	// Poison divisor is immediate UB; poison numerator is poison.
+	wantUB(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 1), VPoison(ir.I32)))
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VPoison(ir.I32), VC(ir.I32, 2)), VPoison(ir.I32))
+}
+
+func TestRemainderValues(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b uint64
+		want uint64
+	}{
+		{"urem", 7, 4, 3},
+		{"srem", 0xfffffff9, 4, 0xfffffffd}, // -7 srem 4 = -3
+		{"srem", 7, 0xfffffffc, 3},          // 7 srem -4 = 3
+	}
+	for _, c := range cases {
+		src := `define i32 @f(i32 %a, i32 %b) {
+entry:
+  %r = ` + c.op + ` i32 %a, %b
+  ret i32 %r
+}`
+		wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, c.a), VC(ir.I32, c.b)), VC(ir.I32, c.want))
+	}
+}
+
+func TestExactAttr(t *testing.T) {
+	src := `define i32 @f(i32 %a) {
+entry:
+  %r = udiv exact i32 %a, 4
+  ret i32 %r
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 8)), VC(ir.I32, 2))
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 9)), VPoison(ir.I32))
+	src2 := `define i32 @f(i32 %a) {
+entry:
+  %r = lshr exact i32 %a, 1
+  ret i32 %r
+}`
+	wantRet(t, run(t, src2, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 6)), VC(ir.I32, 3))
+	wantRet(t, run(t, src2, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 7)), VPoison(ir.I32))
+}
+
+func TestOverShift(t *testing.T) {
+	src := `define i32 @f(i32 %a, i32 %s) {
+entry:
+  %r = shl i32 %a, %s
+  ret i32 %r
+}`
+	// Section 2.3: over-shift is undef under legacy semantics...
+	out := run(t, src, LegacyOptions(BranchPoisonIsUB), ZeroOracle{}, VC(ir.I32, 1), VC(ir.I32, 33))
+	wantRet(t, out, VUndef(ir.I32))
+	// ...and poison under the proposed semantics.
+	out = run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 1), VC(ir.I32, 33))
+	wantRet(t, out, VPoison(ir.I32))
+	// In-range shift is defined in both.
+	out = run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 1), VC(ir.I32, 4))
+	wantRet(t, out, VC(ir.I32, 16))
+}
+
+func TestShiftAttrs(t *testing.T) {
+	src := `define i8 @f(i8 %a) {
+entry:
+  %r = shl nuw i8 %a, 1
+  ret i8 %r
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I8, 0x80)), VPoison(ir.I8))
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I8, 0x40)), VC(ir.I8, 0x80))
+	src2 := `define i8 @f(i8 %a) {
+entry:
+  %r = shl nsw i8 %a, 1
+  ret i8 %r
+}`
+	wantRet(t, run(t, src2, FreezeOptions(), ZeroOracle{}, VC(ir.I8, 0x40)), VPoison(ir.I8)) // 64<<1 = -128: sign change
+	wantRet(t, run(t, src2, FreezeOptions(), ZeroOracle{}, VC(ir.I8, 0x20)), VC(ir.I8, 0x40))
+}
+
+func TestPoisonPropagation(t *testing.T) {
+	// Most instructions including icmp return poison on poison input
+	// (the §2.4 motivation for nsw semantics).
+	src := `define i1 @f(i32 %a, i32 %b) {
+entry:
+  %add = add nsw i32 %a, %b
+  %cmp = icmp sgt i32 %add, %a
+  ret i1 %cmp
+}`
+	out := run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 0x7fffffff), VC(ir.I32, 1))
+	wantRet(t, out, VPoison(ir.I1))
+}
+
+func TestUndefEachUseDiffers(t *testing.T) {
+	// Section 3.1: %y = mul undef, 2 can only be even, while
+	// %y = add undef, undef can be odd. Enumerate to see both.
+	mulSrc := `define i8 @f() {
+entry:
+  %y = mul i8 undef, 2
+  ret i8 %y
+}`
+	addSrc := `define i8 @f() {
+entry:
+  %x = add i8 undef, 0
+  %y = add i8 %x, %x
+  ret i8 %y
+}`
+	collect := func(src string) map[uint64]bool {
+		t.Helper()
+		vals := map[uint64]bool{}
+		o := NewEnumOracle(8, 1<<16)
+		for {
+			o.Reset()
+			out := run(t, src, LegacyOptions(BranchPoisonIsUB), o, nil...)
+			if out.Kind != OutRet {
+				t.Fatalf("outcome %v", out)
+			}
+			if out.Val.IsConcrete() {
+				vals[out.Val.Uint()] = true
+			}
+			if !o.Next() {
+				break
+			}
+		}
+		if o.Overflowed {
+			t.Fatal("oracle overflow")
+		}
+		return vals
+	}
+	mulVals := collect(mulSrc)
+	for v := range mulVals {
+		if v%2 != 0 {
+			t.Errorf("mul undef, 2 produced odd value %d", v)
+		}
+	}
+	if len(mulVals) != 128 {
+		t.Errorf("mul undef, 2 produced %d values, want 128 evens", len(mulVals))
+	}
+	// x is a register holding... x was resolved at the add with 0, so
+	// %x is concrete; y = x+x is even. The per-use freedom applies to
+	// syntactic undef uses.
+	_ = addSrc
+	direct := `define i8 @f() {
+entry:
+  %y = add i8 undef, undef
+  ret i8 %y
+}`
+	addVals := collect(direct)
+	if len(addVals) != 256 {
+		t.Errorf("add undef, undef produced %d values, want 256", len(addVals))
+	}
+}
+
+func TestUndefRegisterFreshPerUse(t *testing.T) {
+	// A register *holding* undef (via phi) still gives per-use freedom:
+	// k != 0 can be true while 1/k divides by zero (§3.2's miscompile).
+	src := `define i8 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  br label %m
+m:
+  %k = phi i8 [ 1, %a ], [ undef, %b ]
+  %nz = icmp ne i8 %k, 0
+  br i1 %nz, label %div, label %out
+div:
+  %q = udiv i8 1, %k
+  ret i8 %q
+out:
+  ret i8 0
+}`
+	sawUB := false
+	o := NewEnumOracle(8, 1<<16)
+	for {
+		o.Reset()
+		out := run(t, src, LegacyOptions(BranchPoisonIsUB), o, VBool(false))
+		if out.Kind == OutUB {
+			sawUB = true
+			break
+		}
+		if !o.Next() {
+			break
+		}
+	}
+	if !sawUB {
+		t.Error("undef k never both passed the != 0 check and divided by zero; per-use freedom missing")
+	}
+}
+
+func TestFreezeStability(t *testing.T) {
+	// freeze(poison) is arbitrary but all uses agree: y - y == 0.
+	src := `define i8 @f() {
+entry:
+  %y = freeze i8 poison
+  %d = sub i8 %y, %y
+  ret i8 %d
+}`
+	o := NewEnumOracle(4, 1<<16)
+	count := 0
+	for {
+		o.Reset()
+		out := run(t, src, FreezeOptions(), o)
+		wantRet(t, out, VC(ir.I8, 0))
+		count++
+		if !o.Next() {
+			break
+		}
+	}
+	if count != 256 {
+		t.Errorf("enumerated %d freeze choices, want 256", count)
+	}
+}
+
+func TestFreezeNop(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+entry:
+  %y = freeze i32 %x
+  ret i32 %y
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 42)), VC(ir.I32, 42))
+}
+
+func TestFreezeVectorPerLane(t *testing.T) {
+	// Figure 5's vector freeze rule: non-poison lanes unchanged.
+	src := `define <2 x i8> @f() {
+entry:
+  %y = freeze <2 x i8> <i8 7, i8 poison>
+  ret <2 x i8> %y
+}`
+	out := run(t, src, FreezeOptions(), ZeroOracle{})
+	if out.Kind != OutRet {
+		t.Fatalf("outcome %v", out)
+	}
+	if out.Val.Lanes[0] != C(7) {
+		t.Errorf("defined lane changed: %v", out.Val)
+	}
+	if out.Val.Lanes[1].Kind != Concrete {
+		t.Errorf("poison lane not frozen: %v", out.Val)
+	}
+}
+
+func TestBranchOnPoison(t *testing.T) {
+	src := `define i32 @f(i1 %p) {
+entry:
+  br i1 %p, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}`
+	// Paper semantics: immediate UB.
+	wantUB(t, run(t, src, FreezeOptions(), ZeroOracle{}, VPoison(ir.I1)))
+	// Legacy loop-unswitching reading: nondeterministic choice.
+	out := run(t, src, LegacyOptions(BranchPoisonNondet), ZeroOracle{}, VPoison(ir.I1))
+	if out.Kind != OutRet {
+		t.Fatalf("nondet branch gave %v", out)
+	}
+	// Branch on undef is a nondeterministic choice in legacy mode.
+	out = run(t, src, LegacyOptions(BranchPoisonIsUB), ZeroOracle{}, VUndef(ir.I1))
+	if out.Kind != OutRet {
+		t.Fatalf("branch on undef gave %v", out)
+	}
+}
+
+func TestSelectSemantics(t *testing.T) {
+	// Figure 5: select with poison condition is poison; the non-chosen
+	// arm's poison does not leak.
+	src := `define i32 @f(i1 %c, i32 %x) {
+entry:
+  %r = select i1 %c, i32 %x, i32 poison
+  ret i32 %r
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VBool(true), VC(ir.I32, 3)), VC(ir.I32, 3))
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VBool(false), VC(ir.I32, 3)), VPoison(ir.I32))
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VPoison(ir.I1), VC(ir.I32, 3)), VPoison(ir.I32))
+
+	// Legacy LangRef reading: either arm's poison leaks.
+	legacy := LegacyOptions(BranchPoisonIsUB)
+	wantRet(t, run(t, src, legacy, ZeroOracle{}, VBool(true), VC(ir.I32, 3)), VPoison(ir.I32))
+
+	// Select-on-poison-is-UB reading (§3.4's GVN-compatible variant).
+	ub := legacy
+	ub.SelectPoisonCond = SelectPoisonCondUB
+	wantUB(t, run(t, src, ub, ZeroOracle{}, VPoison(ir.I1), VC(ir.I32, 3)))
+}
+
+func TestPhiChoosesIncoming(t *testing.T) {
+	src := `define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  br label %m
+m:
+  %x = phi i32 [ 10, %a ], [ poison, %b ]
+  ret i32 %x
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VBool(true)), VC(ir.I32, 10))
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VBool(false)), VPoison(ir.I32))
+}
+
+func TestPhiSimultaneousReads(t *testing.T) {
+	// Swapping phis must read their incomings before writing.
+	src := `define i32 @f(i32 %n) {
+entry:
+  br label %loop
+loop:
+  %a = phi i32 [ 0, %entry ], [ %b, %loop ]
+  %b = phi i32 [ 1, %entry ], [ %a, %loop ]
+  %i = phi i32 [ 0, %entry ], [ %i1, %loop ]
+  %i1 = add i32 %i, 1
+  %c = icmp ult i32 %i1, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret i32 %a
+}`
+	// n=3 takes two back-edges (two swaps): a back to 0.
+	// n=4 takes three back-edges (three swaps): a = 1.
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 3)), VC(ir.I32, 0))
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 4)), VC(ir.I32, 1))
+}
+
+func TestLoopAndMemory(t *testing.T) {
+	// Figure 1's loop: store x+1 into a[0..n).
+	src := `define i32 @f(i32 %x, i32 %n) {
+entry:
+  %a = alloca i32, i32 8
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %x1 = add nsw i32 %x, 1
+  %ptr = getelementptr i32, ptr %a, i32 %i
+  store i32 %x1, ptr %ptr
+  %i1 = add nsw i32 %i, 1
+  br label %head
+exit:
+  %p0 = getelementptr i32, ptr %a, i32 3
+  %v = load i32, ptr %p0
+  ret i32 %v
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 41), VC(ir.I32, 8)), VC(ir.I32, 42))
+}
+
+func TestUninitializedLoad(t *testing.T) {
+	src := `define i32 @f() {
+entry:
+  %a = alloca i32, i32 1
+  %v = load i32, ptr %a
+  ret i32 %v
+}`
+	// Freeze mode: loads of uninitialized memory yield poison (§5.3).
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}), VPoison(ir.I32))
+	// Legacy mode: undef.
+	wantRet(t, run(t, src, LegacyOptions(BranchPoisonIsUB), ZeroOracle{}), VUndef(ir.I32))
+}
+
+func TestOutOfBoundsIsUB(t *testing.T) {
+	src := `define i32 @f(i32 %i) {
+entry:
+  %a = alloca i32, i32 2
+  %p = getelementptr i32, ptr %a, i32 %i
+  %v = load i32, ptr %p
+  ret i32 %v
+}`
+	wantUB(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 1000)))
+	out := run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 1))
+	if out.Kind != OutRet {
+		t.Fatalf("in-bounds load gave %v", out)
+	}
+}
+
+func TestStorePoisonValueAllowed(t *testing.T) {
+	// Storing a poison *value* writes poison bits (not UB); loading
+	// them back yields poison.
+	src := `define i32 @f() {
+entry:
+  %a = alloca i32, i32 1
+  store i32 poison, ptr %a
+  %v = load i32, ptr %a
+  ret i32 %v
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}), VPoison(ir.I32))
+}
+
+func TestStoreToPoisonPointerIsUB(t *testing.T) {
+	src := `define void @f() {
+entry:
+  store i32 1, ptr poison
+  ret void
+}`
+	wantUB(t, run(t, src, FreezeOptions(), ZeroOracle{}))
+}
+
+func TestGEPInbounds(t *testing.T) {
+	src := `define ptr @f(ptr %p, i32 %i) {
+entry:
+  %q = getelementptr inbounds i32, ptr %p, i32 %i
+  ret ptr %q
+}`
+	// Overflowing the address space with inbounds yields poison.
+	out := run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.Ptr, 0xfffffff0), VC(ir.I32, 100))
+	wantRet(t, out, VPoison(ir.Ptr))
+	// Plain gep wraps.
+	src2 := `define ptr @f(ptr %p, i32 %i) {
+entry:
+  %q = getelementptr i32, ptr %p, i32 %i
+  ret ptr %q
+}`
+	out = run(t, src2, FreezeOptions(), ZeroOracle{}, VC(ir.Ptr, 0xfffffffc), VC(ir.I32, 1))
+	wantRet(t, out, VC(ir.Ptr, 0))
+}
+
+func TestCasts(t *testing.T) {
+	src := `define i64 @f(i8 %x) {
+entry:
+  %s = sext i8 %x to i64
+  ret i64 %s
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I8, 0xff)), VC(ir.I64, ^uint64(0)))
+	src = `define i64 @f(i8 %x) {
+entry:
+  %z = zext i8 %x to i64
+  ret i64 %z
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I8, 0xff)), VC(ir.I64, 255))
+	src = `define i8 @f(i64 %x) {
+entry:
+  %t = trunc i64 %x to i8
+  ret i8 %t
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I64, 0x1234)), VC(ir.I8, 0x34))
+	// sext(poison) = poison (the §2.4 indvar argument).
+	src = `define i64 @f(i32 %x) {
+entry:
+  %s = sext i32 %x to i64
+  ret i64 %s
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VPoison(ir.I32)), VPoison(ir.I64))
+}
+
+func TestSextUndefNotFullyArbitrary(t *testing.T) {
+	// §2.4: sext(undef) has all high bits equal — the max value of
+	// sext i8 undef to i16 is 127, never e.g. 0x1ff.
+	src := `define i16 @f() {
+entry:
+  %s = sext i8 undef to i16
+  ret i16 %s
+}`
+	o := NewEnumOracle(4, 1<<16)
+	for {
+		o.Reset()
+		out := run(t, src, LegacyOptions(BranchPoisonIsUB), o)
+		if out.Kind != OutRet {
+			t.Fatalf("outcome %v", out)
+		}
+		v := int64(ir.SignExtBits(out.Val.Uint(), 16))
+		if v > 127 || v < -128 {
+			t.Fatalf("sext i8 undef produced out-of-range %d", v)
+		}
+		if !o.Next() {
+			break
+		}
+	}
+}
+
+func TestBitcastVectorPoisonLanes(t *testing.T) {
+	// <8 x i1> with one poison lane bitcast to i8: whole i8 is poison
+	// (ty↑ with any poison bit).
+	src := `define i8 @f() {
+entry:
+  %b = bitcast <8 x i1> <i1 1, i1 0, i1 poison, i1 0, i1 0, i1 0, i1 0, i1 0> to i8
+  ret i8 %b
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}), VPoison(ir.I8))
+	// Reverse direction: i8 poison to <8 x i1> makes all lanes poison.
+	src = `define <8 x i1> @f() {
+entry:
+  %b = bitcast i8 poison to <8 x i1>
+  ret <8 x i1> %b
+}`
+	out := run(t, src, FreezeOptions(), ZeroOracle{})
+	if out.Kind != OutRet || !out.Val.AnyPoison() {
+		t.Fatalf("outcome %v", out)
+	}
+	for _, l := range out.Val.Lanes {
+		if l.Kind != PoisonVal {
+			t.Errorf("lane not poison: %v", out.Val)
+		}
+	}
+}
+
+func TestVectorLoadIsolatesPoison(t *testing.T) {
+	// §5.4: a vector load keeps poison per element, so loading
+	// <2 x i16> where one half was stored and the other is
+	// uninitialized gives one defined and one poison lane.
+	src := `define i16 @f() {
+entry:
+  %a = alloca i32, i32 1
+  store i16 7, ptr %a
+  %v = load <2 x i16>, ptr %a
+  %e = extractelement <2 x i16> %v, i32 0
+  ret i16 %e
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}), VC(ir.I16, 7))
+	// The wide scalar load of the same memory is all-poison.
+	src = `define i32 @f() {
+entry:
+  %a = alloca i32, i32 1
+  store i16 7, ptr %a
+  %v = load i32, ptr %a
+  ret i32 %v
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}), VPoison(ir.I32))
+}
+
+func TestExtractInsertElement(t *testing.T) {
+	src := `define i8 @f() {
+entry:
+  %v = insertelement <4 x i8> <i8 1, i8 2, i8 3, i8 4>, i8 9, i32 2
+  %e = extractelement <4 x i8> %v, i32 2
+  ret i8 %e
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}), VC(ir.I8, 9))
+	// Out-of-range index: poison.
+	src = `define i8 @f() {
+entry:
+  %e = extractelement <4 x i8> <i8 1, i8 2, i8 3, i8 4>, i32 9
+  ret i8 %e
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}), VPoison(ir.I8))
+}
+
+func TestCallAndRecursion(t *testing.T) {
+	src := `define i32 @fact(i32 %n) {
+entry:
+  %z = icmp eq i32 %n, 0
+  br i1 %z, label %base, label %rec
+base:
+  ret i32 1
+rec:
+  %n1 = sub i32 %n, 1
+  %r = call i32 @fact(i32 %n1)
+  %m = mul i32 %n, %r
+  ret i32 %m
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 6)), VC(ir.I32, 720))
+}
+
+func TestCallDepthBound(t *testing.T) {
+	src := `define i32 @inf(i32 %n) {
+entry:
+  %r = call i32 @inf(i32 %n)
+  ret i32 %r
+}`
+	out := run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 0))
+	if out.Kind != OutTimeout {
+		t.Fatalf("infinite recursion gave %v", out)
+	}
+}
+
+func TestFuelTimeout(t *testing.T) {
+	src := `define void @spin() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}`
+	opts := FreezeOptions()
+	opts.Fuel = 1000
+	out := run(t, src, opts, ZeroOracle{})
+	if out.Kind != OutTimeout {
+		t.Fatalf("infinite loop gave %v", out)
+	}
+}
+
+func TestUnreachableIsUB(t *testing.T) {
+	src := `define void @f() {
+entry:
+  unreachable
+}`
+	wantUB(t, run(t, src, FreezeOptions(), ZeroOracle{}))
+}
+
+func TestGlobals(t *testing.T) {
+	src := `@tab = global 4 init 10 20 30 40
+define i8 @f(i32 %i) {
+entry:
+  %p = getelementptr i8, ptr @tab, i32 %i
+  %v = load i8, ptr %p
+  ret i8 %v
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 2)), VC(ir.I8, 30))
+	wantUB(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 100)))
+}
+
+func TestGlobalPartialInitUninitTail(t *testing.T) {
+	src := `@tab = global 4 init 10
+define i8 @f(i32 %i) {
+entry:
+  %p = getelementptr i8, ptr @tab, i32 %i
+  %v = load i8, ptr %p
+  ret i8 %v
+}`
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 0)), VC(ir.I8, 10))
+	wantRet(t, run(t, src, FreezeOptions(), ZeroOracle{}, VC(ir.I32, 3)), VPoison(ir.I8))
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"tameir/internal/ir"
+)
+
+// MemByte is one byte of memory, bit-granular as in Figure 5's
+// Mem = Num(32) ⇀ ⟦<8 x i1>⟧: each bit may independently be 0, 1,
+// poison or (legacy) undef. Val holds the defined bits; a bit set in
+// Poison or UndefM overrides the corresponding Val bit.
+type MemByte struct {
+	Val    uint8
+	Poison uint8
+	UndefM uint8
+}
+
+// Bit returns the i'th bit of the byte.
+func (b MemByte) Bit(i uint) Bit {
+	switch {
+	case b.Poison>>i&1 != 0:
+		return BitPoison
+	case b.UndefM>>i&1 != 0:
+		return BitUndef
+	case b.Val>>i&1 != 0:
+		return Bit1
+	}
+	return Bit0
+}
+
+// SetBit sets the i'th bit of the byte.
+func (b *MemByte) SetBit(i uint, v Bit) {
+	mask := uint8(1) << i
+	b.Val &^= mask
+	b.Poison &^= mask
+	b.UndefM &^= mask
+	switch v {
+	case Bit1:
+		b.Val |= mask
+	case BitPoison:
+		b.Poison |= mask
+	case BitUndef:
+		b.UndefM |= mask
+	}
+}
+
+// SizeOfType returns the number of bytes a value of type ty occupies in
+// memory: its bitwidth rounded up to whole bytes (an i2 occupies one
+// byte, as in LLVM).
+func SizeOfType(ty ir.Type) uint32 {
+	return uint32((ty.Bitwidth() + 7) / 8)
+}
+
+// pageBits is log2 of the memory page size.
+const pageBits = 8
+
+type page struct {
+	bytes [1 << pageBits]MemByte
+	alloc [1 << pageBits]bool
+}
+
+// Memory is a sparse 32-bit byte-addressed memory. Addresses are
+// allocated by a bump allocator starting above the null page, so
+// address 0 is never valid.
+type Memory struct {
+	pages map[uint32]*page
+	brk   uint32
+}
+
+// NewMemory returns an empty memory whose first allocation starts at a
+// small non-zero address.
+func NewMemory() *Memory {
+	return &Memory{pages: map[uint32]*page{}, brk: 1 << pageBits}
+}
+
+func (m *Memory) pageFor(addr uint32) *page {
+	idx := addr >> pageBits
+	p := m.pages[idx]
+	if p == nil {
+		p = &page{}
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// Allocate reserves size bytes and returns the base address. Fresh
+// memory is uninitialized: all-undef bits under Legacy semantics,
+// all-poison under Freeze semantics (the paper: "loads of uninitialized
+// data yield poison"). Allocation of zero bytes returns a unique
+// non-null address with no accessible bytes.
+func (m *Memory) Allocate(size uint32, mode Mode) (uint32, error) {
+	// 8-byte align each block.
+	base := (m.brk + 7) &^ 7
+	if base+size < base || base+size > 0xffff0000 {
+		return 0, fmt.Errorf("core: out of memory allocating %d bytes", size)
+	}
+	m.brk = base + size
+	if size == 0 {
+		m.brk++
+	}
+	fill := MemByte{UndefM: 0xff}
+	if mode == Freeze {
+		fill = MemByte{Poison: 0xff}
+	}
+	for a := base; a < base+size; a++ {
+		p := m.pageFor(a)
+		off := a & (1<<pageBits - 1)
+		p.bytes[off] = fill
+		p.alloc[off] = true
+	}
+	return base, nil
+}
+
+// valid reports whether every byte of [addr, addr+size) is allocated.
+func (m *Memory) valid(addr uint32, size uint32) bool {
+	for i := uint32(0); i < size; i++ {
+		a := addr + i
+		if a < addr {
+			return false // wrapped
+		}
+		p := m.pages[a>>pageBits]
+		if p == nil || !p.alloc[a&(1<<pageBits-1)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Load implements Figure 5's Load(M, p, sz): it returns the bit
+// representation at [addr, addr+⌈sz/8⌉) or an error if any touched byte
+// is unallocated. sz is in bits.
+func (m *Memory) Load(addr uint32, sz uint) ([]Bit, error) {
+	nbytes := uint32((sz + 7) / 8)
+	if !m.valid(addr, nbytes) {
+		return nil, fmt.Errorf("load of %d bits from invalid address %#x", sz, addr)
+	}
+	bits := make([]Bit, 0, sz)
+	for i := uint(0); i < sz; i++ {
+		a := addr + uint32(i/8)
+		p := m.pages[a>>pageBits]
+		bits = append(bits, p.bytes[a&(1<<pageBits-1)].Bit(i%8))
+	}
+	return bits, nil
+}
+
+// Store implements Figure 5's Store(M, p, b): it writes the bits at
+// [addr, ...) or returns an error if any touched byte is unallocated.
+// When the bit count is not a multiple of 8, the trailing bits of the
+// last byte are left unchanged (LLVM's in-memory type padding).
+func (m *Memory) Store(addr uint32, bits []Bit) error {
+	nbytes := uint32((uint(len(bits)) + 7) / 8)
+	if !m.valid(addr, nbytes) {
+		return fmt.Errorf("store of %d bits to invalid address %#x", len(bits), addr)
+	}
+	for i, b := range bits {
+		a := addr + uint32(i/8)
+		p := m.pages[a>>pageBits]
+		p.bytes[a&(1<<pageBits-1)].SetBit(uint(i%8), b)
+	}
+	return nil
+}
+
+// StoreBytes writes raw initialized bytes (global initializers).
+func (m *Memory) StoreBytes(addr uint32, data []byte) error {
+	bits := make([]Bit, 0, len(data)*8)
+	for _, by := range data {
+		for i := uint(0); i < 8; i++ {
+			if by>>i&1 != 0 {
+				bits = append(bits, Bit1)
+			} else {
+				bits = append(bits, Bit0)
+			}
+		}
+	}
+	return m.Store(addr, bits)
+}
+
+// LoadBytes reads size raw bytes, resolving any deferred-UB bits to
+// zero; intended for test inspection only.
+func (m *Memory) LoadBytes(addr, size uint32) ([]byte, error) {
+	bits, err := m.Load(addr, uint(size)*8)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	for i, b := range bits {
+		if b == Bit1 {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out, nil
+}

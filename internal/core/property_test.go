@@ -1,0 +1,359 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"tameir/internal/ir"
+)
+
+// Property: ty↓ then ty↑ is the identity on fully defined values, for
+// every scalar width.
+func TestLowerRaiseRoundTripScalar(t *testing.T) {
+	f := func(bits uint64, w8 uint8) bool {
+		w := uint(w8%64) + 1
+		ty := ir.Int(w)
+		v := VC(ty, bits)
+		back := Raise(ty, Lower(v), ZeroOracle{})
+		return back.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the round trip also holds element-wise for vectors, and a
+// poison lane stays poison without contaminating neighbours.
+func TestLowerRaiseRoundTripVector(t *testing.T) {
+	f := func(a, b, c uint16, poisonLane uint8) bool {
+		ty := ir.Vec(3, ir.I16)
+		lanes := []Scalar{C(uint64(a)), C(uint64(b)), C(uint64(c))}
+		pl := int(poisonLane % 3)
+		lanes[pl] = PoisonScalar
+		v := Value{Ty: ty, Lanes: lanes}
+		back := Raise(ty, Lower(v), ZeroOracle{})
+		if back.Lanes[pl].Kind != PoisonVal {
+			return false
+		}
+		for i := 0; i < 3; i++ {
+			if i == pl {
+				continue
+			}
+			if back.Lanes[i] != lanes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lower of poison is all-poison bits; Raise of any pattern
+// containing a poison bit is poison (Figure 5's ty↑).
+func TestPoisonBitContamination(t *testing.T) {
+	f := func(bits uint64, w8, pos8 uint8) bool {
+		w := uint(w8%63) + 2
+		ty := ir.Int(w)
+		low := Lower(VC(ty, bits))
+		low[uint(pos8)%w] = BitPoison
+		return Raise(ty, low, ZeroOracle{}).IsPoison()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EvalBinopConcrete for attribute-free add/sub/mul/and/or/
+// xor agrees with arbitrary-precision arithmetic mod 2^w.
+func TestBinopMatchesBigInt(t *testing.T) {
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor}
+	f := func(x, y uint64, w8, opIdx uint8) bool {
+		w := uint(w8%64) + 1
+		op := ops[int(opIdx)%len(ops)]
+		x, y = ir.TruncBits(x, w), ir.TruncBits(y, w)
+		got, ub := EvalBinopConcrete(op, 0, w, x, y, Freeze)
+		if ub != "" || got.Kind != Concrete {
+			return false
+		}
+		bx, by := new(big.Int).SetUint64(x), new(big.Int).SetUint64(y)
+		var ref big.Int
+		switch op {
+		case ir.OpAdd:
+			ref.Add(bx, by)
+		case ir.OpSub:
+			ref.Sub(bx, by)
+		case ir.OpMul:
+			ref.Mul(bx, by)
+		case ir.OpAnd:
+			ref.And(bx, by)
+		case ir.OpOr:
+			ref.Or(bx, by)
+		case ir.OpXor:
+			ref.Xor(bx, by)
+		}
+		mod := new(big.Int).Lsh(big.NewInt(1), w)
+		ref.Mod(&ref, mod)
+		return got.Bits == ref.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the nsw/nuw poison predicates agree with big-int range
+// checks at every width.
+func TestOverflowAttrsMatchBigInt(t *testing.T) {
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul}
+	f := func(x, y uint64, w8, opIdx uint8, signed bool) bool {
+		w := uint(w8%64) + 1
+		op := ops[int(opIdx)%len(ops)]
+		x, y = ir.TruncBits(x, w), ir.TruncBits(y, w)
+		attr := ir.NUW
+		if signed {
+			attr = ir.NSW
+		}
+		got, ub := EvalBinopConcrete(op, attr, w, x, y, Freeze)
+		if ub != "" {
+			return false
+		}
+		var bx, by big.Int
+		if signed {
+			bx.SetInt64(ir.SignExtBits(x, w))
+			by.SetInt64(ir.SignExtBits(y, w))
+		} else {
+			bx.SetUint64(x)
+			by.SetUint64(y)
+		}
+		var ref big.Int
+		switch op {
+		case ir.OpAdd:
+			ref.Add(&bx, &by)
+		case ir.OpSub:
+			ref.Sub(&bx, &by)
+		case ir.OpMul:
+			ref.Mul(&bx, &by)
+		}
+		var lo, hi big.Int
+		if signed {
+			lo.Lsh(big.NewInt(1), w-1)
+			lo.Neg(&lo)
+			hi.Lsh(big.NewInt(1), w-1)
+			hi.Sub(&hi, big.NewInt(1))
+		} else {
+			hi.Lsh(big.NewInt(1), w)
+			hi.Sub(&hi, big.NewInt(1))
+		}
+		overflow := ref.Cmp(&lo) < 0 || ref.Cmp(&hi) > 0
+		return overflow == (got.Kind == PoisonVal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EvalICmpConcrete agrees with big-int comparison under both
+// signedness interpretations.
+func TestICmpMatchesBigInt(t *testing.T) {
+	f := func(x, y uint64, w8, p8 uint8) bool {
+		w := uint(w8%64) + 1
+		p := ir.Pred(p8 % 10)
+		x, y = ir.TruncBits(x, w), ir.TruncBits(y, w)
+		got := EvalICmpConcrete(p, w, x, y)
+		var bx, by big.Int
+		if p.IsSigned() {
+			bx.SetInt64(ir.SignExtBits(x, w))
+			by.SetInt64(ir.SignExtBits(y, w))
+		} else {
+			bx.SetUint64(x)
+			by.SetUint64(y)
+		}
+		cmp := bx.Cmp(&by)
+		var want bool
+		switch p {
+		case ir.PredEQ:
+			want = cmp == 0
+		case ir.PredNE:
+			want = cmp != 0
+		case ir.PredUGT, ir.PredSGT:
+			want = cmp > 0
+		case ir.PredUGE, ir.PredSGE:
+			want = cmp >= 0
+		case ir.PredULT, ir.PredSLT:
+			want = cmp < 0
+		case ir.PredULE, ir.PredSLE:
+			want = cmp <= 0
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: freeze and undef resolution always produce concrete,
+// in-range lanes.
+func TestResolutionProducesConcrete(t *testing.T) {
+	f := func(seed int64, w8 uint8, kind uint8) bool {
+		w := uint(w8%64) + 1
+		var s Scalar
+		switch kind % 3 {
+		case 0:
+			s = PoisonScalar
+		case 1:
+			s = UndefScalar
+		default:
+			s = C(ir.TruncBits(uint64(seed), w))
+		}
+		o := NewRandOracle(seed)
+		fz := FreezeLane(s, w, o)
+		if fz.Kind != Concrete || fz.Bits != ir.TruncBits(fz.Bits, w) {
+			return false
+		}
+		if s.Kind == Concrete && fz != s {
+			return false
+		}
+		rs := ResolveLane(s, w, o)
+		if s.Kind == UndefVal && rs.Kind != Concrete {
+			return false
+		}
+		if s.Kind == PoisonVal && rs.Kind != PoisonVal {
+			return false // ResolveLane leaves poison alone
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EnumOracle with fixed fanouts enumerates the exact product
+// space, without duplicates.
+func TestEnumOracleEnumeratesProductSpace(t *testing.T) {
+	f := func(a8, b8, c8 uint8) bool {
+		na := uint64(a8%3) + 1
+		nb := uint64(b8%4) + 1
+		nc := uint64(c8%2) + 1
+		o := NewEnumOracle(8, 1<<8)
+		seen := map[[3]uint64]bool{}
+		count := 0
+		for {
+			o.Reset()
+			k := [3]uint64{o.Choose(na), o.Choose(nb), o.Choose(nc)}
+			if seen[k] {
+				return false // duplicate
+			}
+			seen[k] = true
+			count++
+			if count > 1000 {
+				return false
+			}
+			if !o.Next() {
+				break
+			}
+		}
+		return uint64(count) == na*nb*nc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: memory Store/Load round-trips arbitrary bit patterns at
+// arbitrary in-bounds offsets.
+func TestMemoryRoundTrip(t *testing.T) {
+	f := func(data []byte, off8 uint8) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		m := NewMemory()
+		base, err := m.Allocate(uint32(len(data))+64, Freeze)
+		if err != nil {
+			return false
+		}
+		addr := base + uint32(off8%64)
+		if err := m.StoreBytes(addr, data); err != nil {
+			return false
+		}
+		got, err := m.LoadBytes(addr, uint32(len(data)))
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a freshly allocated region is entirely deferred-UB (poison
+// under Freeze, undef under Legacy), and out-of-bounds access fails.
+func TestAllocationInvariants(t *testing.T) {
+	f := func(sz8 uint8, legacy bool) bool {
+		sz := uint32(sz8%32) + 1
+		m := NewMemory()
+		mode := Freeze
+		if legacy {
+			mode = Legacy
+		}
+		base, err := m.Allocate(sz, mode)
+		if err != nil {
+			return false
+		}
+		bits, err := m.Load(base, uint(sz)*8)
+		if err != nil {
+			return false
+		}
+		want := BitPoison
+		if legacy {
+			want = BitUndef
+		}
+		for _, b := range bits {
+			if b != want {
+				return false
+			}
+		}
+		if _, err := m.Load(base+sz, 8); err == nil {
+			return false // out of bounds must fail
+		}
+		if _, err := m.Load(0, 8); err == nil {
+			return false // null is never mapped
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-bit SetBit/Bit on MemByte is a consistent store.
+func TestMemByteBitOps(t *testing.T) {
+	f := func(vals [8]uint8) bool {
+		var b MemByte
+		var want [8]Bit
+		for i := uint(0); i < 8; i++ {
+			bit := Bit(vals[i] % 4)
+			b.SetBit(i, bit)
+			want[i] = bit
+		}
+		for i := uint(0); i < 8; i++ {
+			if b.Bit(i) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+package ir
+
+import "fmt"
+
+// Block is a basic block: a straight-line instruction sequence ending in
+// exactly one terminator.
+type Block struct {
+	Nam    string
+	instrs []*Instr
+	parent *Func
+}
+
+// Name returns the block label without the % sigil.
+func (b *Block) Name() string { return b.Nam }
+
+// Parent returns the containing function.
+func (b *Block) Parent() *Func { return b.parent }
+
+// Instrs returns the block's instructions in order. Callers must not
+// mutate the slice; use the insertion/removal methods.
+func (b *Block) Instrs() []*Instr { return b.instrs }
+
+// Append adds an instruction at the end of the block.
+func (b *Block) Append(in *Instr) *Instr {
+	if in.parent != nil {
+		panic("ir: instruction already attached")
+	}
+	in.parent = b
+	b.instrs = append(b.instrs, in)
+	return in
+}
+
+// InsertBefore inserts in immediately before pos, which must be in b.
+func (b *Block) InsertBefore(in *Instr, pos *Instr) {
+	if in.parent != nil {
+		panic("ir: instruction already attached")
+	}
+	i := b.indexOf(pos)
+	in.parent = b
+	b.instrs = append(b.instrs, nil)
+	copy(b.instrs[i+1:], b.instrs[i:])
+	b.instrs[i] = in
+}
+
+// Remove detaches in from the block without touching its operands, so
+// it can be re-inserted elsewhere (code motion).
+func (b *Block) Remove(in *Instr) {
+	i := b.indexOf(in)
+	b.instrs = append(b.instrs[:i], b.instrs[i+1:]...)
+	in.parent = nil
+}
+
+// Erase removes in and releases its operand uses. The instruction must
+// itself be unused.
+func (b *Block) Erase(in *Instr) {
+	if in.NumUses() != 0 {
+		panic(fmt.Sprintf("ir: erasing %%%s which still has %d uses", in.Nam, in.NumUses()))
+	}
+	b.Remove(in)
+	in.dropArgs()
+}
+
+func (b *Block) indexOf(in *Instr) int {
+	for i, x := range b.instrs {
+		if x == in {
+			return i
+		}
+	}
+	panic("ir: instruction not in block")
+}
+
+// Terminator returns the block's final instruction if it is a
+// terminator, else nil.
+func (b *Block) Terminator() *Instr {
+	if len(b.instrs) == 0 {
+		return nil
+	}
+	t := b.instrs[len(b.instrs)-1]
+	if !t.Op.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Succs returns the block's successor blocks.
+func (b *Block) Succs() []*Block {
+	if t := b.Terminator(); t != nil {
+		return t.Succs()
+	}
+	return nil
+}
+
+// Phis returns the leading phi instructions of the block.
+func (b *Block) Phis() []*Instr {
+	var ps []*Instr
+	for _, in := range b.instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		ps = append(ps, in)
+	}
+	return ps
+}
+
+// FirstNonPhi returns the first non-phi instruction.
+func (b *Block) FirstNonPhi() *Instr {
+	for _, in := range b.instrs {
+		if in.Op != OpPhi {
+			return in
+		}
+	}
+	return nil
+}
+
+// Func is an IR function: a parameter list, a return type, and a list of
+// basic blocks whose first element is the entry block.
+type Func struct {
+	Nam    string
+	Params []*Param
+	RetTy  Type
+	Blocks []*Block
+
+	parent *Module
+	nextID int
+}
+
+// NewFunc creates a function with the given name, return type and
+// parameters (name/type pairs).
+func NewFunc(name string, ret Type, params ...*Param) *Func {
+	f := &Func{Nam: name, RetTy: ret}
+	for i, p := range params {
+		p.Idx = i
+		f.Params = append(f.Params, p)
+	}
+	return f
+}
+
+// NewParam creates a detached parameter for use with NewFunc.
+func NewParam(name string, ty Type) *Param { return &Param{Nam: name, Ty: ty} }
+
+// Name returns the function name without the @ sigil.
+func (f *Func) Name() string { return f.Nam }
+
+// Parent returns the containing module, if any.
+func (f *Func) Parent() *Module { return f.parent }
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		panic("ir: function has no blocks")
+	}
+	return f.Blocks[0]
+}
+
+// NewBlock appends a fresh block with the given label (uniqued if
+// needed).
+func (f *Func) NewBlock(name string) *Block {
+	if name == "" {
+		name = "bb"
+	}
+	name = f.uniqueBlockName(name)
+	b := &Block{Nam: name, parent: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+func (f *Func) uniqueBlockName(name string) string {
+	if f.BlockByName(name) == nil {
+		return name
+	}
+	for i := 1; ; i++ {
+		cand := fmt.Sprintf("%s%d", name, i)
+		if f.BlockByName(cand) == nil {
+			return cand
+		}
+	}
+}
+
+// BlockByName returns the block with the given label, or nil.
+func (f *Func) BlockByName(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Nam == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// RemoveBlock deletes block b from the function, dropping the operand
+// uses of its instructions. The caller is responsible for having
+// removed inbound edges and phi entries first.
+func (f *Func) RemoveBlock(b *Block) {
+	for _, in := range b.instrs {
+		in.dropArgs()
+		in.parent = nil
+	}
+	b.instrs = nil
+	for i, x := range f.Blocks {
+		if x == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+	panic("ir: block not in function")
+}
+
+// GenName produces a fresh SSA name with the given prefix.
+func (f *Func) GenName(prefix string) string {
+	if prefix == "" {
+		prefix = "t"
+	}
+	f.nextID++
+	return fmt.Sprintf("%s%d", prefix, f.nextID)
+}
+
+// Preds returns the predecessor blocks of b within f, in block order.
+// Each predecessor appears once even if it has two edges to b (a
+// conditional branch with both targets equal).
+func (f *Func) Preds(b *Block) []*Block {
+	var ps []*Block
+	for _, p := range f.Blocks {
+		for _, s := range p.Succs() {
+			if s == b {
+				ps = append(ps, p)
+				break
+			}
+		}
+	}
+	return ps
+}
+
+// ForEachInstr visits every instruction in the function in block order.
+func (f *Func) ForEachInstr(fn func(*Instr)) {
+	for _, b := range f.Blocks {
+		for _, in := range b.instrs {
+			fn(in)
+		}
+	}
+}
+
+// NumInstrs counts the instructions in the function.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.instrs)
+	}
+	return n
+}
+
+// Module is a collection of functions and global byte arrays.
+type Module struct {
+	Funcs   []*Func
+	Globals []*Global
+}
+
+// NewModule returns an empty module.
+func NewModule() *Module { return &Module{} }
+
+// AddFunc appends f to the module.
+func (m *Module) AddFunc(f *Func) *Func {
+	f.parent = m
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (m *Module) FuncByName(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Nam == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// AddGlobal appends a global byte array to the module.
+func (m *Module) AddGlobal(g *Global) *Global {
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// GlobalByName returns the global with the given name, or nil.
+func (m *Module) GlobalByName(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Nam == name {
+			return g
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// typedIdent renders "ty ident" for an operand.
+func typedIdent(v Value) string {
+	return fmt.Sprintf("%s %s", v.Type(), v.Ident())
+}
+
+// String renders the instruction in textual IR syntax (one line, no
+// leading indentation).
+func (in *Instr) String() string {
+	var b strings.Builder
+	if !in.Ty.IsVoid() {
+		fmt.Fprintf(&b, "%%%s = ", in.Nam)
+	}
+	switch {
+	case in.Op.IsBinop():
+		fmt.Fprintf(&b, "%s %s%s %s, %s", in.Op, in.Attrs, in.Arg(0).Type(), in.Arg(0).Ident(), in.Arg(1).Ident())
+	case in.Op == OpICmp:
+		fmt.Fprintf(&b, "icmp %s %s, %s", in.Pred, typedIdent(in.Arg(0)), in.Arg(1).Ident())
+	case in.Op == OpSelect:
+		fmt.Fprintf(&b, "select %s, %s, %s", typedIdent(in.Arg(0)), typedIdent(in.Arg(1)), typedIdent(in.Arg(2)))
+	case in.Op == OpPhi:
+		fmt.Fprintf(&b, "phi %s ", in.Ty)
+		for i := 0; i < in.NumArgs(); i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "[ %s, %%%s ]", in.Arg(i).Ident(), in.BlockArg(i).Nam)
+		}
+	case in.Op == OpFreeze:
+		fmt.Fprintf(&b, "freeze %s", typedIdent(in.Arg(0)))
+	case in.Op == OpAlloca:
+		fmt.Fprintf(&b, "alloca %s, %s", in.AllocTy, typedIdent(in.Arg(0)))
+	case in.Op == OpLoad:
+		fmt.Fprintf(&b, "load %s, %s", in.Ty, typedIdent(in.Arg(0)))
+	case in.Op == OpStore:
+		fmt.Fprintf(&b, "store %s, %s", typedIdent(in.Arg(0)), typedIdent(in.Arg(1)))
+	case in.Op == OpGEP:
+		inb := ""
+		if in.Attrs&NSW != 0 {
+			inb = "inbounds "
+		}
+		fmt.Fprintf(&b, "getelementptr %s%s, %s, %s", inb, in.AllocTy, typedIdent(in.Arg(0)), typedIdent(in.Arg(1)))
+	case in.Op.IsCast():
+		fmt.Fprintf(&b, "%s %s to %s", in.Op, typedIdent(in.Arg(0)), in.Ty)
+	case in.Op == OpExtractElement:
+		fmt.Fprintf(&b, "extractelement %s, %s", typedIdent(in.Arg(0)), typedIdent(in.Arg(1)))
+	case in.Op == OpInsertElement:
+		fmt.Fprintf(&b, "insertelement %s, %s, %s", typedIdent(in.Arg(0)), typedIdent(in.Arg(1)), typedIdent(in.Arg(2)))
+	case in.Op == OpBr && in.NumArgs() == 0:
+		fmt.Fprintf(&b, "br label %%%s", in.BlockArg(0).Nam)
+	case in.Op == OpBr:
+		fmt.Fprintf(&b, "br %s, label %%%s, label %%%s", typedIdent(in.Arg(0)), in.BlockArg(0).Nam, in.BlockArg(1).Nam)
+	case in.Op == OpRet && in.NumArgs() == 0:
+		b.WriteString("ret void")
+	case in.Op == OpRet:
+		fmt.Fprintf(&b, "ret %s", typedIdent(in.Arg(0)))
+	case in.Op == OpUnreachable:
+		b.WriteString("unreachable")
+	case in.Op == OpCall:
+		fmt.Fprintf(&b, "call %s @%s(", in.Ty, in.Callee.Nam)
+		for i := 0; i < in.NumArgs(); i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(typedIdent(in.Arg(i)))
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(&b, "<unknown op %d>", in.Op)
+	}
+	return b.String()
+}
+
+// String renders the function in textual IR syntax.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "define %s @%s(", f.RetTy, f.Nam)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %%%s", p.Ty, p.Nam)
+	}
+	b.WriteString(") {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Nam)
+		for _, in := range blk.instrs {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders the module: globals followed by functions.
+func (m *Module) String() string {
+	var b strings.Builder
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "@%s = global %d", g.Nam, g.Size)
+		if len(g.Init) > 0 {
+			b.WriteString(" init")
+			for _, by := range g.Init {
+				fmt.Fprintf(&b, " %d", by)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for i, f := range m.Funcs {
+		if i > 0 || len(m.Globals) > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,596 @@
+// Package mi is the MachineInstr layer of the backend: instruction
+// selection from the SelectionDAG, followed by linear-scan register
+// allocation down to the VX64 physical registers.
+//
+// The paper's §6 lowering decisions live here: poison values are reads
+// of the pinned undef register (target.UR) and freeze nodes select to
+// plain register copies — "since taking a copy from an undef register
+// effectively freezes undefinedness, we can lower freeze into a
+// register copy".
+package mi
+
+import (
+	"fmt"
+
+	"tameir/internal/ir"
+	"tameir/internal/sdag"
+	"tameir/internal/target"
+)
+
+// firstVirtual is the first virtual register number; smaller numbers
+// are VX64 physical registers.
+const firstVirtual = 32
+
+// VInstr is a machine instruction over virtual or physical registers.
+// Register fields hold -1 when unused.
+type VInstr struct {
+	Op     target.Opcode
+	Dst    int
+	Src    int
+	Src2   int
+	Imm    int64
+	Scale  uint8
+	Size   uint8
+	Cond   target.Cond
+	Target int
+	// DstIsRead marks two-address instructions that read Dst before
+	// writing it.
+	DstIsRead bool
+	// ParamIndex, when > 0, marks a parameter load of parameter
+	// ParamIndex-1: its displacement is patched to
+	// finalFrameSize + 8*(ParamIndex-1) once register allocation has
+	// sized the frame.
+	ParamIndex int
+}
+
+// VFunc is a pre-regalloc machine function.
+type VFunc struct {
+	Name      string
+	Blocks    [][]VInstr
+	NumV      int // next unused virtual register number
+	FrameSize uint32
+	NumParams int
+}
+
+type iselState struct {
+	fd          *sdag.FuncDAG
+	vf          *VFunc
+	cur         []VInstr
+	memo        map[*sdag.Node]int
+	fused       map[*sdag.Node]bool // icmp nodes fused into their brcond
+	globalAddrs []uint32
+}
+
+// writesFlags reports whether selecting the root (or, for vreg copies,
+// its yet-unemitted payload) emits a flag-writing compare.
+func writesFlags(r *sdag.Node) bool {
+	switch r.Op {
+	case sdag.NSelect, sdag.NICmp:
+		return true
+	case sdag.NCopyToVReg:
+		op := r.Args[0].Op
+		return op == sdag.NSelect || op == sdag.NICmp
+	}
+	return false
+}
+
+// Select lowers a function DAG to virtual-register machine code.
+// globalAddrs gives the load address of each module global (from
+// target.LayoutGlobals), matching what the simulator's loader uses.
+func Select(fd *sdag.FuncDAG, globalAddrs []uint32) (*VFunc, error) {
+	s := &iselState{
+		fd: fd,
+		vf: &VFunc{
+			Name:      fd.Name,
+			NumV:      firstVirtual + fd.NumVRegs,
+			FrameSize: fd.FrameSize,
+			NumParams: fd.NumParams,
+		},
+		fused:       map[*sdag.Node]bool{},
+		globalAddrs: globalAddrs,
+	}
+	// Mark cmp/branch fusion opportunities: an icmp whose single use
+	// is the same block's brcond, with no flag-writing root emitted
+	// between the compare and the branch.
+	for _, b := range fd.Blocks {
+		if len(b.Roots) == 0 {
+			continue
+		}
+		last := b.Roots[len(b.Roots)-1]
+		if last.Op != sdag.NBrCond || last.Args[0].Op != sdag.NICmp || last.Args[0].Uses != 1 {
+			continue
+		}
+		cmp := last.Args[0]
+		idx := -1
+		for i, r := range b.Roots {
+			if r == cmp {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			continue // condition computed in another block
+		}
+		safe := true
+		for _, r := range b.Roots[idx+1 : len(b.Roots)-1] {
+			if writesFlags(r) {
+				safe = false
+				break
+			}
+		}
+		if safe {
+			s.fused[cmp] = true
+		}
+	}
+
+	// Entry block: load stack-passed parameters into their vregs.
+	// Calling convention: caller pushes args left-to-right reversed so
+	// arg i sits at [SP + FrameSize + 8*i] after the prologue.
+	for bi, b := range fd.Blocks {
+		s.cur = nil
+		s.memo = map[*sdag.Node]int{}
+		if bi == 0 {
+			for i := 0; i < fd.NumParams; i++ {
+				s.emit(VInstr{Op: target.LOAD, Dst: firstVirtual + i, Src: int(target.FP),
+					Size: 8, ParamIndex: i + 1})
+			}
+		}
+		for _, r := range b.Roots {
+			if err := s.selectRoot(r); err != nil {
+				return nil, err
+			}
+		}
+		s.vf.Blocks = append(s.vf.Blocks, s.cur)
+	}
+	return s.vf, nil
+}
+
+func (s *iselState) emit(in VInstr) {
+	// Normalize unused register fields.
+	if in.Src == 0 && in.Op == target.MOVri {
+		in.Src = -1
+	}
+	s.cur = append(s.cur, in)
+}
+
+func (s *iselState) newV() int {
+	v := s.vf.NumV
+	s.vf.NumV++
+	return v
+}
+
+func mask(bits uint) int64 {
+	return int64(ir.TruncBits(^uint64(0), bits))
+}
+
+// val returns a register holding the node's value (zero-extended to 64
+// bits), emitting code on first demand.
+func (s *iselState) val(n *sdag.Node) (int, error) {
+	if r, ok := s.memo[n]; ok {
+		return r, nil
+	}
+	r, err := s.selectValue(n)
+	if err != nil {
+		return 0, err
+	}
+	s.memo[n] = r
+	return r, nil
+}
+
+// maskTo truncates reg to bits in place when needed.
+func (s *iselState) maskTo(reg int, bits uint) {
+	if bits < 64 {
+		s.emit(VInstr{Op: target.ANDri, Dst: reg, Src: -1, Src2: -1, Imm: mask(bits), DstIsRead: true})
+	}
+}
+
+// signExtend emits code producing sign-extension of src from `from`
+// bits into a fresh register (full 64-bit signed value).
+func (s *iselState) signExtend(src int, from uint) int {
+	t := s.newV()
+	if from == 64 {
+		s.emit(VInstr{Op: target.MOVrr, Dst: t, Src: src, Src2: -1})
+		return t
+	}
+	if from%8 == 0 {
+		s.emit(VInstr{Op: target.MOVSX, Dst: t, Src: src, Src2: -1, Size: uint8(from / 8)})
+		return t
+	}
+	// Bit-granular widths: shl/sar pair.
+	s.emit(VInstr{Op: target.MOVrr, Dst: t, Src: src, Src2: -1})
+	s.emit(VInstr{Op: target.SHLri, Dst: t, Src: -1, Src2: -1, Imm: int64(64 - from), DstIsRead: true})
+	s.emit(VInstr{Op: target.SARri, Dst: t, Src: -1, Src2: -1, Imm: int64(64 - from), DstIsRead: true})
+	return t
+}
+
+func memSize(bits uint) (uint8, error) {
+	switch {
+	case bits <= 8:
+		return 1, nil
+	case bits <= 16:
+		return 2, nil
+	case bits <= 32:
+		return 4, nil
+	case bits <= 64:
+		return 8, nil
+	}
+	return 0, fmt.Errorf("mi: unsupported memory width %d", bits)
+}
+
+func (s *iselState) selectRoot(n *sdag.Node) error {
+	switch n.Op {
+	case sdag.NCopyToVReg:
+		src, err := s.val(n.Args[0])
+		if err != nil {
+			return err
+		}
+		s.emit(VInstr{Op: target.MOVrr, Dst: firstVirtual + n.VReg, Src: src, Src2: -1})
+		return nil
+	case sdag.NStore:
+		v, err := s.val(n.Args[0])
+		if err != nil {
+			return err
+		}
+		p, err := s.val(n.Args[1])
+		if err != nil {
+			return err
+		}
+		sz, err := memSize(n.Bits)
+		if err != nil {
+			return err
+		}
+		s.emit(VInstr{Op: target.STORE, Dst: p, Src: v, Src2: -1, Size: sz})
+		return nil
+	case sdag.NBr:
+		s.emit(VInstr{Op: target.JMP, Dst: -1, Src: -1, Src2: -1, Target: n.Block})
+		return nil
+	case sdag.NBrCond:
+		c := n.Args[0]
+		if s.fused[c] {
+			// The CMP was already emitted at the icmp's position;
+			// flags are still valid (only CMP writes them).
+			s.emit(VInstr{Op: target.Jcc, Dst: -1, Src: -1, Src2: -1, Cond: predToCond(c.Pred), Target: n.Block})
+			s.emit(VInstr{Op: target.JMP, Dst: -1, Src: -1, Src2: -1, Target: n.Block2})
+			return nil
+		}
+		r, err := s.val(c)
+		if err != nil {
+			return err
+		}
+		s.emit(VInstr{Op: target.CMPri, Dst: r, Src: -1, Src2: -1, Imm: 0})
+		s.emit(VInstr{Op: target.Jcc, Dst: -1, Src: -1, Src2: -1, Cond: target.CondNE, Target: n.Block})
+		s.emit(VInstr{Op: target.JMP, Dst: -1, Src: -1, Src2: -1, Target: n.Block2})
+		return nil
+	case sdag.NRet:
+		if len(n.Args) == 1 {
+			r, err := s.val(n.Args[0])
+			if err != nil {
+				return err
+			}
+			s.emit(VInstr{Op: target.MOVrr, Dst: int(target.R0), Src: r, Src2: -1})
+		}
+		s.emit(VInstr{Op: target.RET, Dst: -1, Src: -1, Src2: -1})
+		return nil
+	case sdag.NUnreachable:
+		// Lower to a trapping division (like ud2): a load from null.
+		s.emit(VInstr{Op: target.LOAD, Dst: int(target.R12), Src: int(target.UR), Src2: -1, Imm: 0, Size: 8})
+		s.emit(VInstr{Op: target.RET, Dst: -1, Src: -1, Src2: -1})
+		return nil
+	case sdag.NCall:
+		_, err := s.val(n)
+		return err
+	default:
+		// Anchored computation: force emission at this program point.
+		_, err := s.val(n)
+		return err
+	}
+}
+
+func predToCond(p ir.Pred) target.Cond {
+	switch p {
+	case ir.PredEQ:
+		return target.CondEQ
+	case ir.PredNE:
+		return target.CondNE
+	case ir.PredUGT:
+		return target.CondUGT
+	case ir.PredUGE:
+		return target.CondUGE
+	case ir.PredULT:
+		return target.CondULT
+	case ir.PredULE:
+		return target.CondULE
+	case ir.PredSGT:
+		return target.CondSGT
+	case ir.PredSGE:
+		return target.CondSGE
+	case ir.PredSLT:
+		return target.CondSLT
+	}
+	return target.CondSLE
+}
+
+func (s *iselState) selectValue(n *sdag.Node) (int, error) {
+	switch n.Op {
+	case sdag.NConst:
+		t := s.newV()
+		s.emit(VInstr{Op: target.MOVri, Dst: t, Src: -1, Src2: -1, Imm: int64(n.Imm)})
+		return t, nil
+	case sdag.NUndefReg:
+		// §6: poison becomes the pinned undef register.
+		return int(target.UR), nil
+	case sdag.NCopyFromVReg:
+		return firstVirtual + n.VReg, nil
+	case sdag.NGlobal:
+		t := s.newV()
+		if n.GlobalIdx >= len(s.globalAddrs) {
+			return 0, fmt.Errorf("mi: global index %d out of range", n.GlobalIdx)
+		}
+		s.emit(VInstr{Op: target.MOVri, Dst: t, Src: -1, Src2: -1, Imm: int64(s.globalAddrs[n.GlobalIdx])})
+		return t, nil
+	case sdag.NFrame:
+		t := s.newV()
+		// Scale 0 encodes an index-less LEA off the frame pointer.
+		s.emit(VInstr{Op: target.LEA, Dst: t, Src: int(target.FP), Src2: -1, Scale: 0, Imm: int64(n.FrameOff)})
+		return t, nil
+	case sdag.NFreeze:
+		// §6: freeze selects to a register copy.
+		src, err := s.val(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		t := s.newV()
+		s.emit(VInstr{Op: target.MOVrr, Dst: t, Src: src, Src2: -1})
+		return t, nil
+	case sdag.NBinop:
+		return s.selectBinop(n)
+	case sdag.NICmp:
+		return s.selectICmp(n)
+	case sdag.NSelect:
+		c, err := s.val(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		x, err := s.val(n.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		y, err := s.val(n.Args[2])
+		if err != nil {
+			return 0, err
+		}
+		t := s.newV()
+		s.emit(VInstr{Op: target.MOVrr, Dst: t, Src: y, Src2: -1})
+		s.emit(VInstr{Op: target.CMPri, Dst: c, Src: -1, Src2: -1, Imm: 0})
+		s.emit(VInstr{Op: target.CMOVcc, Dst: t, Src: x, Src2: -1, Cond: target.CondNE, DstIsRead: true})
+		return t, nil
+	case sdag.NSExt:
+		src, err := s.val(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		t := s.signExtend(src, n.FromBits)
+		s.maskTo(t, n.Bits)
+		return t, nil
+	case sdag.NZExt:
+		return s.val(n.Args[0]) // zero-extension invariant
+	case sdag.NTrunc, sdag.NMask:
+		src, err := s.val(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		t := s.newV()
+		s.emit(VInstr{Op: target.MOVrr, Dst: t, Src: src, Src2: -1})
+		s.maskTo(t, n.Bits)
+		return t, nil
+	case sdag.NLoad:
+		p, err := s.val(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		sz, err := memSize(n.Bits)
+		if err != nil {
+			return 0, err
+		}
+		t := s.newV()
+		s.emit(VInstr{Op: target.LOAD, Dst: t, Src: p, Src2: -1, Size: sz})
+		if n.Bits%8 != 0 {
+			s.maskTo(t, n.Bits)
+		}
+		return t, nil
+	case sdag.NGEP:
+		return s.selectGEP(n)
+	case sdag.NCall:
+		return s.selectCall(n)
+	}
+	return 0, fmt.Errorf("mi: cannot select %s", n.Op)
+}
+
+func (s *iselState) selectBinop(n *sdag.Node) (int, error) {
+	x, err := s.val(n.Args[0])
+	if err != nil {
+		return 0, err
+	}
+	yNode := n.Args[1]
+	w := n.Bits
+
+	twoAddr := func(op target.Opcode, lhs int) (int, error) {
+		t := s.newV()
+		s.emit(VInstr{Op: target.MOVrr, Dst: t, Src: lhs, Src2: -1})
+		if yNode.Op == sdag.NConst {
+			riOp := map[target.Opcode]target.Opcode{
+				target.ADDrr: target.ADDri, target.ANDrr: target.ANDri,
+				target.ORrr: target.ORri, target.XORrr: target.XORri,
+				target.SHLrr: target.SHLri, target.SHRrr: target.SHRri,
+				target.SARrr: target.SARri,
+			}[op]
+			if riOp != target.OpInvalid && riOp != 0 {
+				s.emit(VInstr{Op: riOp, Dst: t, Src: -1, Src2: -1, Imm: int64(yNode.Imm), DstIsRead: true})
+				return t, nil
+			}
+		}
+		y, err := s.val(yNode)
+		if err != nil {
+			return 0, err
+		}
+		s.emit(VInstr{Op: op, Dst: t, Src: y, Src2: -1, DstIsRead: true})
+		return t, nil
+	}
+
+	switch n.IROp {
+	case ir.OpAdd:
+		t, err := twoAddr(target.ADDrr, x)
+		if err != nil {
+			return 0, err
+		}
+		s.maskTo(t, w)
+		return t, nil
+	case ir.OpSub:
+		t, err := twoAddr(target.SUBrr, x)
+		if err != nil {
+			return 0, err
+		}
+		s.maskTo(t, w)
+		return t, nil
+	case ir.OpMul:
+		t, err := twoAddr(target.IMULrr, x)
+		if err != nil {
+			return 0, err
+		}
+		s.maskTo(t, w)
+		return t, nil
+	case ir.OpAnd:
+		return twoAddr(target.ANDrr, x)
+	case ir.OpOr:
+		return twoAddr(target.ORrr, x)
+	case ir.OpXor:
+		return twoAddr(target.XORrr, x)
+	case ir.OpShl:
+		t, err := twoAddr(target.SHLrr, x)
+		if err != nil {
+			return 0, err
+		}
+		s.maskTo(t, w)
+		return t, nil
+	case ir.OpLShr:
+		// Inputs are zero-extended; a plain SHR is exact. An
+		// over-shift produces deferred UB in the IR, so any result is
+		// acceptable.
+		return twoAddr(target.SHRrr, x)
+	case ir.OpAShr:
+		sx := s.signExtend(x, w)
+		t, err := twoAddr(target.SARrr, sx)
+		if err != nil {
+			return 0, err
+		}
+		s.maskTo(t, w)
+		return t, nil
+	case ir.OpUDiv, ir.OpURem:
+		op := target.UDIVrr
+		if n.IROp == ir.OpURem {
+			op = target.UREMrr
+		}
+		return twoAddr(op, x)
+	case ir.OpSDiv, ir.OpSRem:
+		sx := s.signExtend(x, w)
+		y, err := s.val(yNode)
+		if err != nil {
+			return 0, err
+		}
+		sy := s.signExtend(y, w)
+		op := target.SDIVrr
+		if n.IROp == ir.OpSRem {
+			op = target.SREMrr
+		}
+		s.emit(VInstr{Op: op, Dst: sx, Src: sy, Src2: -1, DstIsRead: true})
+		s.maskTo(sx, w)
+		return sx, nil
+	}
+	return 0, fmt.Errorf("mi: cannot select binop %s", n.IROp)
+}
+
+func (s *iselState) selectICmp(n *sdag.Node) (int, error) {
+	a, err := s.val(n.Args[0])
+	if err != nil {
+		return 0, err
+	}
+	bN := n.Args[1]
+	w := n.FromBits
+	signed := n.Pred.IsSigned()
+	if signed && w < 64 {
+		a = s.signExtend(a, w)
+	}
+	if s.fused[n] {
+		// Emit only the CMP; the branch supplies the Jcc.
+		if bN.Op == sdag.NConst && !signed {
+			s.emit(VInstr{Op: target.CMPri, Dst: a, Src: -1, Src2: -1, Imm: int64(bN.Imm)})
+			return -1, nil
+		}
+		b, err := s.val(bN)
+		if err != nil {
+			return 0, err
+		}
+		if signed && w < 64 {
+			b = s.signExtend(b, w)
+		}
+		s.emit(VInstr{Op: target.CMPrr, Dst: a, Src: b, Src2: -1})
+		return -1, nil
+	}
+	b, err := s.val(bN)
+	if err != nil {
+		return 0, err
+	}
+	if signed && w < 64 {
+		b = s.signExtend(b, w)
+	}
+	s.emit(VInstr{Op: target.CMPrr, Dst: a, Src: b, Src2: -1})
+	t := s.newV()
+	s.emit(VInstr{Op: target.SETcc, Dst: t, Src: -1, Src2: -1, Cond: predToCond(n.Pred)})
+	return t, nil
+}
+
+func (s *iselState) selectGEP(n *sdag.Node) (int, error) {
+	base, err := s.val(n.Args[0])
+	if err != nil {
+		return 0, err
+	}
+	idx, err := s.val(n.Args[1])
+	if err != nil {
+		return 0, err
+	}
+	if n.FromBits < 64 {
+		idx = s.signExtend(idx, n.FromBits)
+	}
+	t := s.newV()
+	switch n.ElemSize {
+	case 1, 2, 4, 8:
+		s.emit(VInstr{Op: target.LEA, Dst: t, Src: base, Src2: idx, Scale: uint8(n.ElemSize)})
+	default:
+		s.emit(VInstr{Op: target.MOVri, Dst: t, Src: -1, Src2: -1, Imm: int64(n.ElemSize)})
+		s.emit(VInstr{Op: target.IMULrr, Dst: t, Src: idx, Src2: -1, DstIsRead: true})
+		s.emit(VInstr{Op: target.ADDrr, Dst: t, Src: base, Src2: -1, DstIsRead: true})
+	}
+	return t, nil
+}
+
+func (s *iselState) selectCall(n *sdag.Node) (int, error) {
+	// Stack calling convention: push args so arg i lands at
+	// [callee SP entry + 8*i] — push in reverse order.
+	var regs []int
+	for _, a := range n.Args {
+		r, err := s.val(a)
+		if err != nil {
+			return 0, err
+		}
+		regs = append(regs, r)
+	}
+	for i := len(regs) - 1; i >= 0; i-- {
+		s.emit(VInstr{Op: target.PUSH, Dst: -1, Src: regs[i], Src2: -1})
+	}
+	s.emit(VInstr{Op: target.CALL, Dst: -1, Src: -1, Src2: -1, Target: n.CalleeIdx})
+	if len(regs) > 0 {
+		s.emit(VInstr{Op: target.ADDri, Dst: int(target.SP), Src: -1, Src2: -1, Imm: 8 * int64(len(regs)), DstIsRead: true})
+	}
+	t := s.newV()
+	s.emit(VInstr{Op: target.MOVrr, Dst: t, Src: int(target.R0), Src2: -1})
+	return t, nil
+}

@@ -1,0 +1,96 @@
+package mi
+
+import "tameir/internal/target"
+
+// Peephole is the MI-level cleanup run after register allocation:
+// self-moves (mov r, r) produced by coalescing-free allocation are
+// deleted. It never touches flags or control flow.
+func Peephole(p *target.Program) int {
+	removed := 0
+	for _, f := range p.Funcs {
+		for bi, b := range f.Blocks {
+			out := b[:0]
+			for _, in := range b {
+				if in.Op == target.MOVrr && in.Dst == in.Src {
+					removed++
+					continue
+				}
+				out = append(out, in)
+			}
+			f.Blocks[bi] = out
+		}
+	}
+	return removed
+}
+
+// Inverse returns the negation of a condition code.
+func condInverse(c target.Cond) target.Cond {
+	switch c {
+	case target.CondEQ:
+		return target.CondNE
+	case target.CondNE:
+		return target.CondEQ
+	case target.CondUGT:
+		return target.CondULE
+	case target.CondUGE:
+		return target.CondULT
+	case target.CondULT:
+		return target.CondUGE
+	case target.CondULE:
+		return target.CondUGT
+	case target.CondSGT:
+		return target.CondSLE
+	case target.CondSGE:
+		return target.CondSLT
+	case target.CondSLT:
+		return target.CondSGE
+	}
+	return target.CondSGT // CondSLE
+}
+
+// ExpandCMovs is §5.2's reverse predication, performed where the paper
+// says it belongs: "this kind of transformation may be delayed to
+// lower-level IRs where poison usually does not exist". At the MI
+// level there is no poison (only undef registers), so turning each
+// conditional move into a branch diamond is unconditionally sound — no
+// freeze needed, unlike the IR-level select→branch rewrite.
+//
+// Each "cmovCC dst, src" becomes:
+//
+//	    jCC' Lcont        ; inverted condition: skip the move
+//	    jmp  Lmove
+//	Lmove:  mov dst, src
+//	    jmp  Lcont
+//	Lcont:  ...rest of the block...
+//
+// New blocks are appended, so existing branch targets stay valid. It
+// returns the number of conditional moves expanded.
+func ExpandCMovs(p *target.Program) int {
+	expanded := 0
+	for _, f := range p.Funcs {
+		for bi := 0; bi < len(f.Blocks); bi++ {
+			b := f.Blocks[bi]
+			for k, in := range b {
+				if in.Op != target.CMOVcc {
+					continue
+				}
+				moveIdx := len(f.Blocks)
+				contIdx := moveIdx + 1
+				prefix := append(append([]target.Instr(nil), b[:k]...),
+					target.Instr{Op: target.Jcc, Cond: condInverse(in.Cond), Target: contIdx},
+					target.Instr{Op: target.JMP, Target: moveIdx},
+				)
+				moveBlock := []target.Instr{
+					{Op: target.MOVrr, Dst: in.Dst, Src: in.Src},
+					{Op: target.JMP, Target: contIdx},
+				}
+				contBlock := append([]target.Instr(nil), b[k+1:]...)
+				f.Blocks[bi] = prefix
+				f.Blocks = append(f.Blocks, moveBlock, contBlock)
+				expanded++
+				break // the tail now lives in contBlock; rescan continues there
+			}
+		}
+	}
+	return expanded
+}

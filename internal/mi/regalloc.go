@@ -1,0 +1,380 @@
+package mi
+
+import (
+	"fmt"
+	"sort"
+
+	"tameir/internal/target"
+)
+
+// Register allocation: liveness analysis over virtual registers,
+// coarse live intervals, and a linear scan over target.R0..R11.
+// Virtual registers live across a CALL are pre-spilled (the calling
+// convention is caller-clobbers-everything), and spilled values are
+// accessed through the two scratch registers R12/R13.
+//
+// The paper's prototype "reserves a register for each poison value";
+// VX64 reserves the single pinned undef register target.UR, which the
+// allocator never touches — the §6 lowering reads it directly.
+
+// regUses returns (uses, defs) of virtual or physical registers for an
+// instruction. Two-address instructions (DstIsRead) report Dst in
+// both.
+func regUses(in VInstr) (uses []int, defs []int) {
+	add := func(s *[]int, r int) {
+		if r >= 0 {
+			*s = append(*s, r)
+		}
+	}
+	switch in.Op {
+	case target.MOVri, target.SETcc, target.POP:
+		add(&defs, in.Dst)
+	case target.MOVrr, target.MOVSX, target.MOVZX:
+		add(&defs, in.Dst)
+		add(&uses, in.Src)
+	case target.ADDrr, target.SUBrr, target.IMULrr, target.ANDrr, target.ORrr,
+		target.XORrr, target.SHLrr, target.SHRrr, target.SARrr,
+		target.UDIVrr, target.SDIVrr, target.UREMrr, target.SREMrr,
+		target.CMOVcc:
+		add(&uses, in.Dst)
+		add(&defs, in.Dst)
+		add(&uses, in.Src)
+	case target.ADDri, target.ANDri, target.ORri, target.XORri,
+		target.SHLri, target.SHRri, target.SARri:
+		add(&uses, in.Dst)
+		add(&defs, in.Dst)
+	case target.LEA:
+		add(&defs, in.Dst)
+		add(&uses, in.Src)
+		if in.Scale != 0 {
+			add(&uses, in.Src2)
+		}
+	case target.CMPrr:
+		add(&uses, in.Dst)
+		add(&uses, in.Src)
+	case target.CMPri:
+		add(&uses, in.Dst)
+	case target.LOAD:
+		add(&defs, in.Dst)
+		add(&uses, in.Src)
+	case target.STORE:
+		add(&uses, in.Dst)
+		add(&uses, in.Src)
+	case target.PUSH:
+		add(&uses, in.Src)
+	}
+	return uses, defs
+}
+
+// Allocate performs register allocation and returns the finished
+// machine function.
+func Allocate(vf *VFunc) (*target.MFunc, error) {
+	nv := vf.NumV
+	// Positions: global instruction index.
+	blockStart := make([]int, len(vf.Blocks))
+	blockEnd := make([]int, len(vf.Blocks))
+	p := 0
+	for bi, b := range vf.Blocks {
+		blockStart[bi] = p
+		p += len(b)
+		blockEnd[bi] = p - 1
+	}
+
+	// Block-level liveness over virtual registers.
+	succs := make([][]int, len(vf.Blocks))
+	for bi, b := range vf.Blocks {
+		for _, in := range b {
+			switch in.Op {
+			case target.JMP, target.Jcc:
+				succs[bi] = append(succs[bi], in.Target)
+			}
+		}
+		_ = b
+	}
+	use := make([]map[int]bool, len(vf.Blocks))
+	def := make([]map[int]bool, len(vf.Blocks))
+	for bi, b := range vf.Blocks {
+		use[bi] = map[int]bool{}
+		def[bi] = map[int]bool{}
+		for _, in := range b {
+			us, ds := regUses(in)
+			for _, u := range us {
+				if u >= firstVirtual && !def[bi][u] {
+					use[bi][u] = true
+				}
+			}
+			for _, d := range ds {
+				if d >= firstVirtual {
+					def[bi][d] = true
+				}
+			}
+		}
+	}
+	liveIn := make([]map[int]bool, len(vf.Blocks))
+	liveOut := make([]map[int]bool, len(vf.Blocks))
+	for i := range liveIn {
+		liveIn[i] = map[int]bool{}
+		liveOut[i] = map[int]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := len(vf.Blocks) - 1; bi >= 0; bi-- {
+			out := map[int]bool{}
+			for _, s := range succs[bi] {
+				for v := range liveIn[s] {
+					out[v] = true
+				}
+			}
+			in := map[int]bool{}
+			for v := range out {
+				if !def[bi][v] {
+					in[v] = true
+				}
+			}
+			for v := range use[bi] {
+				in[v] = true
+			}
+			if len(out) != len(liveOut[bi]) || len(in) != len(liveIn[bi]) {
+				changed = true
+			}
+			liveOut[bi], liveIn[bi] = out, in
+		}
+	}
+
+	// Coarse intervals.
+	start := make([]int, nv)
+	end := make([]int, nv)
+	for v := range start {
+		start[v] = -1
+	}
+	touch := func(v, at int) {
+		if v < firstVirtual {
+			return
+		}
+		if start[v] < 0 || at < start[v] {
+			start[v] = at
+		}
+		if at > end[v] {
+			end[v] = at
+		}
+	}
+	pi := 0
+	var callPositions []int
+	for bi, b := range vf.Blocks {
+		for v := range liveIn[bi] {
+			touch(v, blockStart[bi])
+		}
+		for v := range liveOut[bi] {
+			touch(v, blockEnd[bi])
+		}
+		for _, in := range b {
+			us, ds := regUses(in)
+			for _, u := range us {
+				touch(u, pi)
+			}
+			for _, d := range ds {
+				touch(d, pi)
+			}
+			if in.Op == target.CALL {
+				callPositions = append(callPositions, pi)
+			}
+			pi++
+		}
+	}
+
+	// Spill decisions: intervals crossing a call spill.
+	spilled := map[int]bool{}
+	for v := firstVirtual; v < nv; v++ {
+		if start[v] < 0 {
+			continue
+		}
+		for _, cp := range callPositions {
+			if start[v] < cp && cp < end[v] {
+				spilled[v] = true
+				break
+			}
+		}
+	}
+
+	// Linear scan over the rest.
+	type interval struct{ v, s, e int }
+	var ivs []interval
+	for v := firstVirtual; v < nv; v++ {
+		if start[v] >= 0 && !spilled[v] {
+			ivs = append(ivs, interval{v, start[v], end[v]})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+
+	assigned := make([]int, nv) // phys reg, or -1
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	freeRegs := make([]bool, target.NumAllocatable)
+	for i := range freeRegs {
+		freeRegs[i] = true
+	}
+	var active []interval
+	for _, iv := range ivs {
+		// Expire.
+		na := active[:0]
+		for _, a := range active {
+			if a.e < iv.s {
+				freeRegs[assigned[a.v]] = true
+			} else {
+				na = append(na, a)
+			}
+		}
+		active = na
+		// Assign.
+		reg := -1
+		for r := 0; r < target.NumAllocatable; r++ {
+			if freeRegs[r] {
+				reg = r
+				break
+			}
+		}
+		if reg >= 0 {
+			freeRegs[reg] = false
+			assigned[iv.v] = reg
+			active = append(active, iv)
+			continue
+		}
+		// Spill the active interval with the furthest end, or this one.
+		worst := -1
+		for i, a := range active {
+			if a.e > iv.e && (worst < 0 || a.e > active[worst].e) {
+				worst = i
+			}
+		}
+		if worst >= 0 {
+			victim := active[worst]
+			spilled[victim.v] = true
+			assigned[iv.v] = assigned[victim.v]
+			assigned[victim.v] = -1
+			active[worst] = iv
+		} else {
+			spilled[iv.v] = true
+		}
+	}
+
+	// Frame slots for spills, above the alloca area.
+	slotOf := map[int]int64{}
+	frame := int64(vf.FrameSize)
+	for v := firstVirtual; v < nv; v++ {
+		if spilled[v] {
+			slotOf[v] = frame
+			frame += 8
+		}
+	}
+
+	// Rewrite instructions.
+	mf := &target.MFunc{
+		Name:      vf.Name,
+		FrameSize: uint32(frame),
+		NumParams: vf.NumParams,
+	}
+	physOf := func(v int) (target.Reg, bool) {
+		if v < firstVirtual {
+			return target.Reg(v), true
+		}
+		if r := assigned[v]; r >= 0 {
+			return target.Reg(r), true
+		}
+		return 0, false
+	}
+	for _, b := range vf.Blocks {
+		var out []target.Instr
+		for _, in := range b {
+			us, ds := regUses(in)
+			_ = us
+			_ = ds
+			// Map the (at most two) spilled uses to scratch regs.
+			scratch := []target.Reg{target.R12, target.R13}
+			si := 0
+			regFor := func(v int, isUse bool) (target.Reg, error) {
+				if v < 0 {
+					return target.R0, nil
+				}
+				if r, ok := physOf(v); ok {
+					return r, nil
+				}
+				// Spilled.
+				if si >= len(scratch) {
+					if !isUse {
+						// A write-only destination may reuse the first
+						// scratch: it is written after all uses are read.
+						return scratch[0], nil
+					}
+					return 0, fmt.Errorf("mi: out of scratch registers in %s", vf.Name)
+				}
+				r := scratch[si]
+				si++
+				if isUse {
+					out = append(out, target.Instr{Op: target.LOAD, Dst: r, Src: target.FP, Imm: slotOf[v], Size: 8})
+				}
+				return r, nil
+			}
+
+			ni := target.Instr{Op: in.Op, Imm: in.Imm, Scale: in.Scale, Size: in.Size, Cond: in.Cond, Target: in.Target}
+			if in.ParamIndex > 0 {
+				ni.Imm = frame + 8*int64(in.ParamIndex-1)
+			}
+			var spillDst int = -1
+			var dstReg target.Reg
+
+			// Dst handling depends on whether it is read.
+			if in.Dst >= 0 {
+				_, isDef := dstRole(in)
+				isRead := in.DstIsRead || dstIsUse(in)
+				r, err := regFor(in.Dst, isRead)
+				if err != nil {
+					return nil, err
+				}
+				dstReg = r
+				ni.Dst = r
+				if isDef && in.Dst >= firstVirtual && spilled[in.Dst] {
+					spillDst = in.Dst
+				}
+			}
+			if in.Src >= 0 {
+				r, err := regFor(in.Src, true)
+				if err != nil {
+					return nil, err
+				}
+				ni.Src = r
+			}
+			if in.Src2 >= 0 && in.Scale != 0 {
+				r, err := regFor(in.Src2, true)
+				if err != nil {
+					return nil, err
+				}
+				ni.Src2 = r
+			}
+			out = append(out, ni)
+			if spillDst >= 0 {
+				out = append(out, target.Instr{Op: target.STORE, Dst: target.FP, Src: dstReg, Imm: slotOf[spillDst], Size: 8})
+			}
+		}
+		mf.Blocks = append(mf.Blocks, out)
+	}
+	return mf, nil
+}
+
+// dstRole reports whether Dst is (used, defined) for the opcode.
+func dstRole(in VInstr) (used, defined bool) {
+	switch in.Op {
+	case target.CMPrr, target.CMPri, target.STORE:
+		return true, false
+	case target.MOVri, target.MOVrr, target.MOVSX, target.MOVZX,
+		target.SETcc, target.LOAD, target.LEA, target.POP:
+		return false, true
+	}
+	// ALU two-address family.
+	return true, true
+}
+
+func dstIsUse(in VInstr) bool {
+	u, _ := dstRole(in)
+	return u
+}

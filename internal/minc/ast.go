@@ -1,0 +1,303 @@
+package minc
+
+import "fmt"
+
+// CKind discriminates MinC types.
+type CKind uint8
+
+const (
+	CVoid CKind = iota
+	CInt
+	CPtr
+	CArray
+	CStruct
+)
+
+// CType is a MinC type.
+type CType struct {
+	Kind     CKind
+	Bits     uint // CInt width
+	Unsigned bool
+	Elem     *CType // CPtr / CArray element
+	Len      uint32 // CArray length
+	Struct   *StructType
+}
+
+// Common types.
+var (
+	TyVoid  = &CType{Kind: CVoid}
+	TyChar  = &CType{Kind: CInt, Bits: 8}
+	TyShort = &CType{Kind: CInt, Bits: 16}
+	TyInt   = &CType{Kind: CInt, Bits: 32}
+	TyLong  = &CType{Kind: CInt, Bits: 64}
+	TyUInt  = &CType{Kind: CInt, Bits: 32, Unsigned: true}
+	TyULong = &CType{Kind: CInt, Bits: 64, Unsigned: true}
+)
+
+// Ptr returns a pointer type to elem.
+func Ptr(elem *CType) *CType { return &CType{Kind: CPtr, Elem: elem} }
+
+// Size returns the byte size of the type.
+func (t *CType) Size() uint32 {
+	switch t.Kind {
+	case CInt:
+		return uint32(t.Bits / 8)
+	case CPtr:
+		return 4 // IR pointers are 32-bit (Figure 5)
+	case CArray:
+		return t.Elem.Size() * t.Len
+	case CStruct:
+		return t.Struct.Size
+	}
+	return 0
+}
+
+// Equal reports structural equality.
+func (t *CType) Equal(u *CType) bool {
+	if t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case CInt:
+		return t.Bits == u.Bits && t.Unsigned == u.Unsigned
+	case CPtr, CArray:
+		return (t.Len == u.Len || t.Kind == CPtr) && t.Elem.Equal(u.Elem)
+	case CStruct:
+		return t.Struct == u.Struct
+	}
+	return true
+}
+
+// String renders the type.
+func (t *CType) String() string {
+	switch t.Kind {
+	case CVoid:
+		return "void"
+	case CInt:
+		u := ""
+		if t.Unsigned {
+			u = "unsigned "
+		}
+		switch t.Bits {
+		case 8:
+			return u + "char"
+		case 16:
+			return u + "short"
+		case 32:
+			return u + "int"
+		case 64:
+			return u + "long"
+		}
+		return fmt.Sprintf("%sint%d", u, t.Bits)
+	case CPtr:
+		return t.Elem.String() + "*"
+	case CArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case CStruct:
+		return "struct " + t.Struct.Name
+	}
+	return "?"
+}
+
+// Field is a struct member; bit fields carry their bit offset within a
+// storage unit of the declared type's width.
+type Field struct {
+	Name   string
+	Ty     *CType
+	Offset uint32 // byte offset of the field's storage unit
+
+	IsBitfield bool
+	BitOff     uint
+	BitWidth   uint
+}
+
+// StructType is a named struct with laid-out fields.
+type StructType struct {
+	Name   string
+	Fields []Field
+	Size   uint32
+}
+
+// FieldByName returns the field and whether it exists.
+func (s *StructType) FieldByName(name string) (Field, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// --- AST ---
+
+// Expr is a MinC expression node.
+type Expr interface{ exprNode() }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Val  uint64
+	Line int
+}
+
+// VarRef names a local, parameter or global.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// Binary is a binary operator expression (arithmetic, comparison,
+// logical && and ||).
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Unary is -, !, ~, * (deref) or & (address-of).
+type Unary struct {
+	Op   string
+	E    Expr
+	Line int
+}
+
+// Assign is "L = R" or a compound "L op= R".
+type Assign struct {
+	Op   string // "" for plain =, else "+", "-", ...
+	L, R Expr
+	Line int
+}
+
+// Call is a function call.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Index is "Base[Idx]".
+type Index struct {
+	Base, Idx Expr
+	Line      int
+}
+
+// Member is "Base.Name" or "Base->Name".
+type Member struct {
+	Base  Expr
+	Name  string
+	Arrow bool
+	Line  int
+}
+
+// Cast is "(Ty)E".
+type Cast struct {
+	To   *CType
+	E    Expr
+	Line int
+}
+
+// SizeofT is "sizeof(type)".
+type SizeofT struct {
+	Ty   *CType
+	Line int
+}
+
+func (*NumLit) exprNode()  {}
+func (*VarRef) exprNode()  {}
+func (*Binary) exprNode()  {}
+func (*Unary) exprNode()   {}
+func (*Assign) exprNode()  {}
+func (*Call) exprNode()    {}
+func (*Index) exprNode()   {}
+func (*Member) exprNode()  {}
+func (*Cast) exprNode()    {}
+func (*SizeofT) exprNode() {}
+
+// Stmt is a MinC statement node.
+type Stmt interface{ stmtNode() }
+
+// Decl declares a local with optional initializer.
+type Decl struct {
+	Name string
+	Ty   *CType
+	Init Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct{ E Expr }
+
+// If is if/else.
+type If struct {
+	Cond       Expr
+	Then, Else Stmt
+}
+
+// While loops while Cond is non-zero.
+type While struct {
+	Cond Expr
+	Body Stmt
+}
+
+// For is for(Init; Cond; Post) Body.
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// Return returns, with optional value.
+type Return struct {
+	E    Expr
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's next iteration.
+type ContinueStmt struct{ Line int }
+
+// Block is { ... }.
+type Block struct{ Stmts []Stmt }
+
+func (*Decl) stmtNode()         {}
+func (*ExprStmt) stmtNode()     {}
+func (*If) stmtNode()           {}
+func (*While) stmtNode()        {}
+func (*For) stmtNode()          {}
+func (*Return) stmtNode()       {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*Block) stmtNode()        {}
+
+// Param is a function parameter.
+type CParam struct {
+	Name string
+	Ty   *CType
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *CType
+	Params []CParam
+	Body   *Block
+	Line   int
+}
+
+// GlobalDecl is a module-level variable (scalar or array) with an
+// optional initializer list.
+type GlobalDecl struct {
+	Name string
+	Ty   *CType
+	Init []uint64
+	Line int
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Structs map[string]*StructType
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}

@@ -1,0 +1,45 @@
+package minc
+
+import (
+	"testing"
+
+	"tameir/internal/ir"
+)
+
+// FuzzCompileString checks the whole frontend (lexer, parser, type
+// checker, IR generation) never panics, and that accepted programs
+// lower to verifiable IR.
+func FuzzCompileString(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main() { return 0; }",
+		"int main() { int a = 1; return a + 2 * 3; }",
+		"struct s { int a : 3; unsigned b : 5; }; int main() { struct s x; x.a = 1; return x.a; }",
+		"int g[4] = {1,2,3,4}; int main() { return g[2]; }",
+		"int f(int n) { if (n < 2) return n; return f(n-1) + f(n-2); } int main() { return f(5); }",
+		"int main() { for (int i = 0; i < 3; i += 1) { if (i == 1) continue; if (i == 2) break; } return 0; }",
+		"int main() { int a[3]; int *p = &a[0]; *p = 5; return *(p + 0); }",
+		"long isqrt(long v) { return v / 2; } int main() { return (int)isqrt(16); }",
+		"int main() { return 1 && 0 || !2; }",
+		"int main() { unsigned char c = 300; return (int)c >> 1 << 2; }",
+		"int main() { return sizeof(long); }",
+		"int main() { int x = 0; x += 1; x <<= 2; x %= 3; return x; }",
+		"/* comment */ int main() { return 'A'; } // end",
+		"int main() { return 0x7fffffff; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		mod, err := CompileString(src, Config{FreezeBitfieldLoads: true})
+		if err != nil {
+			return
+		}
+		if verr := ir.VerifyModule(mod, ir.VerifyFreeze); verr != nil {
+			t.Fatalf("frontend emitted invalid IR: %v\nsource:\n%s\nIR:\n%s", verr, src, mod)
+		}
+	})
+}

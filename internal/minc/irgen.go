@@ -1,0 +1,427 @@
+package minc
+
+import (
+	"fmt"
+
+	"tameir/internal/ir"
+)
+
+// BitfieldLowering selects how bit-field stores are lowered (§5.3).
+type BitfieldLowering uint8
+
+const (
+	// BitfieldWord is the standard lowering: load the containing word,
+	// (freeze it,) mask, or, store. Needs FreezeBitfieldLoads under
+	// the Freeze semantics.
+	BitfieldWord BitfieldLowering = iota
+	// BitfieldVector is §5.3's "superior alternative": operate on the
+	// unit as a <W x i1> vector with insertelement, so poison stays
+	// per-bit and no freeze is needed ("they allow perfect
+	// store-forwarding (no freezes)"). The paper notes it is "not well
+	// supported by LLVM's backend" — and indeed the VX64 backend
+	// rejects vectors, so this mode runs only on the interpreter;
+	// exactly the paper's situation.
+	BitfieldVector
+)
+
+// Config controls the paper-relevant lowering decisions.
+type Config struct {
+	// FreezeBitfieldLoads is the frontend's one-line §5.3 change: the
+	// word loaded by a bit-field store is frozen, so the first store
+	// to a fresh struct does not smear poison over the sibling fields.
+	// It must be on under the Freeze semantics and off (there is
+	// nothing to freeze) under the legacy semantics, where
+	// uninitialized loads give undef and the combine is harmless.
+	FreezeBitfieldLoads bool
+
+	// Bitfields selects the §5.3 store lowering strategy.
+	Bitfields BitfieldLowering
+}
+
+// CompileString parses and lowers MinC source to an IR module.
+func CompileString(src string, cfg Config) (*ir.Module, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog, cfg)
+}
+
+// Compile lowers a parsed program.
+func Compile(prog *Program, cfg Config) (*ir.Module, error) {
+	g := &irgen{cfg: cfg, mod: ir.NewModule(), funcs: map[string]*ir.Func{}, globals: map[string]*globalInfo{}}
+	return g.run(prog)
+}
+
+type globalInfo struct {
+	g  *ir.Global
+	ty *CType
+}
+
+type irgen struct {
+	cfg     Config
+	mod     *ir.Module
+	funcs   map[string]*ir.Func
+	globals map[string]*globalInfo
+
+	// per-function state
+	fn     *ir.Func
+	bd     *ir.Builder
+	scopes []map[string]*local
+	retTy  *CType
+	// loops is the break/continue target stack.
+	loops []loopTargets
+}
+
+type loopTargets struct {
+	brk, cont *ir.Block
+}
+
+type local struct {
+	addr ir.Value // alloca
+	ty   *CType
+}
+
+// cval is a typed rvalue.
+type cval struct {
+	v  ir.Value
+	ty *CType
+}
+
+// clval is a typed lvalue: an address plus optional bit-field window.
+type clval struct {
+	addr ir.Value
+	ty   *CType
+	bf   *Field // non-nil for bit-field lvalues
+}
+
+func irType(t *CType) (ir.Type, error) {
+	switch t.Kind {
+	case CInt:
+		return ir.Int(t.Bits), nil
+	case CPtr:
+		return ir.Ptr, nil
+	}
+	return ir.Type{}, fmt.Errorf("minc: type %s has no first-class IR form", t)
+}
+
+func (g *irgen) run(prog *Program) (*ir.Module, error) {
+	for _, gd := range prog.Globals {
+		blob := &ir.Global{Nam: gd.Name, Size: gd.Ty.Size()}
+		// C globals are zero-initialized; explicit initializers
+		// overwrite a prefix.
+		blob.Init = make([]byte, blob.Size)
+		if len(gd.Init) > 0 {
+			esz := gd.Ty.Size()
+			ty := gd.Ty
+			if ty.Kind == CArray {
+				esz = ty.Elem.Size()
+			}
+			if uint32(len(gd.Init))*esz > blob.Size {
+				return nil, fmt.Errorf("minc: initializer for %s too long", gd.Name)
+			}
+			for vi, v := range gd.Init {
+				for b := uint32(0); b < esz; b++ {
+					blob.Init[uint32(vi)*esz+b] = byte(v >> (8 * b))
+				}
+			}
+		}
+		g.mod.AddGlobal(blob)
+		g.globals[gd.Name] = &globalInfo{g: blob, ty: gd.Ty}
+	}
+	// Declare function shells first so calls resolve in any order.
+	for _, fd := range prog.Funcs {
+		retTy := ir.Void
+		if fd.Ret.Kind != CVoid {
+			t, err := irType(fd.Ret)
+			if err != nil {
+				return nil, err
+			}
+			retTy = t
+		}
+		var params []*ir.Param
+		for _, p := range fd.Params {
+			t, err := irType(p.Ty)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, ir.NewParam(p.Name, t))
+		}
+		fn := ir.NewFunc(fd.Name, retTy, params...)
+		if g.funcs[fd.Name] != nil {
+			return nil, fmt.Errorf("minc: duplicate function %s", fd.Name)
+		}
+		g.funcs[fd.Name] = fn
+		g.mod.AddFunc(fn)
+	}
+	for _, fd := range prog.Funcs {
+		if err := g.genFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	return g.mod, nil
+}
+
+func (g *irgen) pushScope() { g.scopes = append(g.scopes, map[string]*local{}) }
+func (g *irgen) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *irgen) lookup(name string) (*local, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if l, ok := g.scopes[i][name]; ok {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+func (g *irgen) declareLocal(name string, ty *CType) (*local, error) {
+	var addr *ir.Instr
+	switch ty.Kind {
+	case CInt, CPtr:
+		t, err := irType(ty)
+		if err != nil {
+			return nil, err
+		}
+		addr = g.entryAlloca(t, 1)
+	case CArray, CStruct:
+		addr = g.entryAlloca(ir.I8, ty.Size())
+	default:
+		return nil, fmt.Errorf("minc: cannot declare %s of type %s", name, ty)
+	}
+	l := &local{addr: addr, ty: ty}
+	g.scopes[len(g.scopes)-1][name] = l
+	return l, nil
+}
+
+// entryAlloca places allocas in the entry block (the backend requires
+// it, and mem2reg prefers it).
+func (g *irgen) entryAlloca(elem ir.Type, count uint32) *ir.Instr {
+	entry := g.fn.Entry()
+	in := ir.NewInstr(ir.OpAlloca, ir.Ptr, ir.ConstInt(ir.I32, uint64(count)))
+	in.AllocTy = elem
+	in.Nam = g.fn.GenName("slot")
+	if len(entry.Instrs()) == 0 {
+		entry.Append(in)
+	} else {
+		entry.InsertBefore(in, entry.Instrs()[0])
+	}
+	return in
+}
+
+func (g *irgen) genFunc(fd *FuncDecl) error {
+	g.fn = g.funcs[fd.Name]
+	g.retTy = fd.Ret
+	entry := g.fn.NewBlock("entry")
+	g.bd = ir.NewBuilder(entry)
+	// Anchor instruction so entryAlloca has an insertion point; it
+	// will be the terminator for now.
+	anchor := g.bd.Unreachable()
+
+	g.scopes = nil
+	g.pushScope()
+	// Parameters spill to allocas (address-of works; mem2reg cleans).
+	for i, p := range fd.Params {
+		l, err := g.declareLocal(p.Name, p.Ty)
+		if err != nil {
+			return err
+		}
+		st := ir.NewInstr(ir.OpStore, ir.Void, g.fn.Params[i], l.addr)
+		entry.InsertBefore(st, anchor)
+	}
+	entry.Remove(anchor)
+	// Anchor removal leaves the entry unterminated; genBlock appends.
+	if err := g.genBlock(fd.Body); err != nil {
+		return err
+	}
+	// Fall-off-the-end: return 0 (or void). C's main convention.
+	if g.bd.Block().Terminator() == nil {
+		if fd.Ret.Kind == CVoid {
+			g.bd.Ret(nil)
+		} else {
+			t, err := irType(fd.Ret)
+			if err != nil {
+				return err
+			}
+			g.bd.Ret(ir.ConstInt(t, 0))
+		}
+	}
+	g.popScope()
+	return ir.Verify(g.fn, ir.VerifyLegacy)
+}
+
+func (g *irgen) genBlock(b *Block) error {
+	g.pushScope()
+	defer g.popScope()
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+		if g.bd.Block().Terminator() != nil {
+			break // unreachable code after return
+		}
+	}
+	return nil
+}
+
+func (g *irgen) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return g.genBlock(st)
+	case *Decl:
+		l, err := g.declareLocal(st.Name, st.Ty)
+		if err != nil {
+			return err
+		}
+		if st.Init != nil {
+			v, err := g.genExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			cv, err := g.convert(v, st.Ty, st.Line)
+			if err != nil {
+				return err
+			}
+			g.bd.Store(cv.v, l.addr)
+		}
+		return nil
+	case *ExprStmt:
+		_, err := g.genExpr(st.E)
+		return err
+	case *Return:
+		if st.E == nil {
+			g.bd.Ret(nil)
+			return nil
+		}
+		v, err := g.genExpr(st.E)
+		if err != nil {
+			return err
+		}
+		cv, err := g.convert(v, g.retTy, st.Line)
+		if err != nil {
+			return err
+		}
+		g.bd.Ret(cv.v)
+		return nil
+	case *If:
+		cond, err := g.genCond(st.Cond)
+		if err != nil {
+			return err
+		}
+		thenB := g.fn.NewBlock("if.then")
+		elseB := g.fn.NewBlock("if.else")
+		contB := g.fn.NewBlock("if.end")
+		g.bd.CondBr(cond, thenB, elseB)
+		g.bd.SetBlock(thenB)
+		if err := g.genStmt(st.Then); err != nil {
+			return err
+		}
+		if g.bd.Block().Terminator() == nil {
+			g.bd.Br(contB)
+		}
+		g.bd.SetBlock(elseB)
+		if st.Else != nil {
+			if err := g.genStmt(st.Else); err != nil {
+				return err
+			}
+		}
+		if g.bd.Block().Terminator() == nil {
+			g.bd.Br(contB)
+		}
+		g.bd.SetBlock(contB)
+		// A cont block with no predecessors still needs a terminator;
+		// it will be removed as unreachable by the optimizer.
+		return nil
+	case *While:
+		head := g.fn.NewBlock("while.head")
+		body := g.fn.NewBlock("while.body")
+		exit := g.fn.NewBlock("while.end")
+		g.bd.Br(head)
+		g.bd.SetBlock(head)
+		cond, err := g.genCond(st.Cond)
+		if err != nil {
+			return err
+		}
+		g.bd.CondBr(cond, body, exit)
+		g.bd.SetBlock(body)
+		g.loops = append(g.loops, loopTargets{brk: exit, cont: head})
+		err = g.genStmt(st.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		if err != nil {
+			return err
+		}
+		if g.bd.Block().Terminator() == nil {
+			g.bd.Br(head)
+		}
+		g.bd.SetBlock(exit)
+		return nil
+	case *For:
+		g.pushScope()
+		defer g.popScope()
+		if st.Init != nil {
+			if err := g.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		head := g.fn.NewBlock("for.head")
+		body := g.fn.NewBlock("for.body")
+		post := g.fn.NewBlock("for.post")
+		exit := g.fn.NewBlock("for.end")
+		g.bd.Br(head)
+		g.bd.SetBlock(head)
+		if st.Cond != nil {
+			cond, err := g.genCond(st.Cond)
+			if err != nil {
+				return err
+			}
+			g.bd.CondBr(cond, body, exit)
+		} else {
+			g.bd.Br(body)
+		}
+		g.bd.SetBlock(body)
+		g.loops = append(g.loops, loopTargets{brk: exit, cont: post})
+		err := g.genStmt(st.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		if err != nil {
+			return err
+		}
+		if g.bd.Block().Terminator() == nil {
+			g.bd.Br(post)
+		}
+		g.bd.SetBlock(post)
+		if st.Post != nil {
+			if err := g.genStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		if g.bd.Block().Terminator() == nil {
+			g.bd.Br(head)
+		}
+		g.bd.SetBlock(exit)
+		return nil
+	case *BreakStmt:
+		if len(g.loops) == 0 {
+			return fmt.Errorf("minc: line %d: break outside loop", st.Line)
+		}
+		g.bd.Br(g.loops[len(g.loops)-1].brk)
+		return nil
+	case *ContinueStmt:
+		if len(g.loops) == 0 {
+			return fmt.Errorf("minc: line %d: continue outside loop", st.Line)
+		}
+		g.bd.Br(g.loops[len(g.loops)-1].cont)
+		return nil
+	}
+	return fmt.Errorf("minc: unhandled statement %T", s)
+}
+
+// genCond evaluates e as an i1 truth value.
+func (g *irgen) genCond(e Expr) (ir.Value, error) {
+	v, err := g.genExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	if v.ty.Kind == CPtr {
+		return g.bd.ICmp(ir.PredNE, v.v, ir.ConstInt(ir.Ptr, 0)), nil
+	}
+	return g.bd.ICmp(ir.PredNE, v.v, ir.ConstInt(v.v.Type(), 0)), nil
+}

@@ -1,0 +1,116 @@
+package optfuzz
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+	"tameir/internal/mi"
+	"tameir/internal/refine"
+	"tameir/internal/target"
+)
+
+// Property: print → parse → print is stable on randomly generated CFG
+// functions (the parser accepts everything the printer emits).
+func TestRandomPrintParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fn := Random(rng, DefaultRandomConfig())
+		text := "define" + fn.String()[len("define"):]
+		re, err := ir.ParseFunc(text)
+		if err != nil {
+			t.Logf("parse failed: %v\n%s", err, text)
+			return false
+		}
+		return re.String() == fn.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every function refines itself (refinement is reflexive),
+// including functions with undef, poison and freeze.
+func TestRandomSelfRefinement(t *testing.T) {
+	legacy := core.LegacyOptions(core.BranchPoisonNondet)
+	cfg := refine.DefaultConfig(legacy, legacy)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 120; i++ {
+		fn := Random(rng, DefaultRandomConfig())
+		r := refine.Check(fn, fn, cfg)
+		if r.Status == refine.Refuted {
+			t.Fatalf("self-refinement refuted on iteration %d:\n%s\n%s", i, fn, r)
+		}
+	}
+}
+
+// Property: cloning is semantically transparent — the clone has the
+// same behaviour set on every input.
+func TestRandomCloneEquivalence(t *testing.T) {
+	legacy := core.LegacyOptions(core.BranchPoisonNondet)
+	cfg := refine.DefaultConfig(legacy, legacy)
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 80; i++ {
+		fn := Random(rng, DefaultRandomConfig())
+		cl := ir.CloneFunc(fn)
+		r1 := refine.Check(fn, cl, cfg)
+		r2 := refine.Check(cl, fn, cfg)
+		if r1.Status == refine.Refuted || r2.Status == refine.Refuted {
+			t.Fatalf("clone not equivalent on iteration %d:\n%s\n→ %s / %s", i, fn, r1, r2)
+		}
+	}
+}
+
+// Property (differential backend testing): for deterministic random
+// functions (no undef/poison/freeze leaves), the VX64 backend agrees
+// with the interpreter on concrete inputs whenever the interpreter's
+// result is fully defined.
+func TestRandomBackendDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	rcfg := DefaultRandomConfig()
+	rcfg.Width = 8
+	rcfg.AllowUndef = false
+	rcfg.AllowPoison = false
+	rcfg.AllowFreeze = false
+	checked := 0
+	for i := 0; i < 200; i++ {
+		fn := Random(rng, rcfg)
+		mod := ir.NewModule()
+		mod.AddFunc(fn)
+		prog, err := mi.CompileModule(mod)
+		if err != nil {
+			t.Fatalf("iteration %d: backend: %v\n%s", i, err, fn)
+		}
+		for trial := 0; trial < 4; trial++ {
+			a := uint64(rng.Intn(256))
+			b := uint64(rng.Intn(256))
+			out := core.Exec(fn,
+				[]core.Value{core.VC(ir.I8, a), core.VC(ir.I8, b)},
+				core.ZeroOracle{}, core.FreezeOptions())
+			if out.Kind != core.OutRet || !out.Val.IsConcrete() {
+				continue // poison (nsw) or UB (division): sim behaviour unconstrained
+			}
+			m := target.NewMachine(prog)
+			for _, arg := range []uint64{b, a} { // push right-to-left
+				m.Regs[target.SP] -= 8
+				for by := uint(0); by < 8; by++ {
+					m.Mem[m.Regs[target.SP]+uint64(by)] = byte(arg >> (8 * by))
+				}
+			}
+			got, err := m.Run(0)
+			if err != nil {
+				t.Fatalf("iteration %d: simulate: %v\n%s", i, err, fn)
+			}
+			if got != out.Val.Uint() {
+				t.Fatalf("iteration %d: f(%d,%d): simulator %d, interpreter %d\n%s",
+					i, a, b, got, out.Val.Uint(), fn)
+			}
+			checked++
+		}
+	}
+	if checked < 100 {
+		t.Errorf("only %d defined executions compared; generator too UB-happy", checked)
+	}
+}

@@ -1,0 +1,78 @@
+package passes
+
+import (
+	"testing"
+
+	"tameir/internal/ir"
+	"tameir/internal/refine"
+)
+
+func TestADCERemovesDeadPhiCycle(t *testing.T) {
+	// %a and %b feed each other but nothing live uses them: plain DCE
+	// cannot remove the cycle, ADCE can.
+	src := `define i2 @f(i2 %n) {
+entry:
+  br label %loop
+loop:
+  %a = phi i2 [ 0, %entry ], [ %b2, %loop ]
+  %i = phi i2 [ 0, %entry ], [ %i1, %loop ]
+  %b2 = add i2 %a, 1
+  %i1 = add i2 %i, 1
+  %c = icmp ult i2 %i1, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret i2 %i
+}`
+	_, afterDCE := applyPass(t, src, DCE{}, DefaultFreezeConfig())
+	if countOp(afterDCE, ir.OpPhi) != 2 {
+		t.Fatalf("plain DCE should keep the dead phi cycle:\n%s", afterDCE)
+	}
+	orig, afterADCE := validatePass(t, src, ADCE{}, DefaultFreezeConfig(), refine.Verified)
+	_ = orig
+	if countOp(afterADCE, ir.OpPhi) != 1 {
+		t.Errorf("ADCE should remove the dead phi cycle:\n%s", afterADCE)
+	}
+	if countOp(afterADCE, ir.OpAdd) != 1 {
+		t.Errorf("ADCE should remove the cycle's add:\n%s", afterADCE)
+	}
+}
+
+func TestADCEKeepsSideEffects(t *testing.T) {
+	src := `define void @f(ptr %p, i2 %v) {
+entry:
+  %dead = add i2 %v, 1
+  store i2 %v, ptr %p
+  ret void
+}`
+	_, work := applyPass(t, src, ADCE{}, DefaultFreezeConfig())
+	if countOp(work, ir.OpStore) != 1 {
+		t.Errorf("ADCE removed a store:\n%s", work)
+	}
+	if countOp(work, ir.OpAdd) != 0 {
+		t.Errorf("ADCE kept a dead add:\n%s", work)
+	}
+}
+
+func TestADCEKeepsControlFlow(t *testing.T) {
+	// The loop computes nothing live, but removing control flow could
+	// change termination: ADCE must keep the branches.
+	src := `define i2 @f(i2 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i2 [ 0, %entry ], [ %i1, %loop ]
+  %i1 = add i2 %i, 1
+  %c = icmp ult i2 %i1, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret i2 0
+}`
+	_, work := validatePass(t, src, ADCE{}, DefaultFreezeConfig(), refine.Verified)
+	if len(work.Blocks) != 3 {
+		t.Errorf("ADCE must not delete control flow:\n%s", work)
+	}
+	// The induction chain feeds the live branch, so it stays.
+	if countOp(work, ir.OpPhi) != 1 || countOp(work, ir.OpAdd) != 1 {
+		t.Errorf("branch-feeding IV chain must stay:\n%s", work)
+	}
+}

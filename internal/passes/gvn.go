@@ -1,0 +1,242 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"tameir/internal/analysis"
+	"tameir/internal/core"
+	"tameir/internal/ir"
+)
+
+// GVN performs global value numbering: syntactically equal pure
+// expressions are merged when one dominates the other, and equalities
+// learned from dominating branch conditions are propagated (the §3.3
+// example: after "if (t == y)", t may be replaced by y in the "then"
+// region).
+//
+// The equality propagation is the optimization whose soundness forces
+// branch-on-poison to be immediate UB: if branching on poison were a
+// nondeterministic choice, the comparison could be poison with t and y
+// unrelated, and substituting y for t would be wrong. GVN therefore
+// performs propagation only when the semantics makes branch-on-poison
+// UB — or when Config.Unsound replicates the historical behaviour of
+// assuming it anyway (while loop unswitching simultaneously assumes
+// the opposite; the combination is the paper's end-to-end
+// miscompilation, PR27506).
+//
+// Freeze instructions are not merged by default: each freeze of the
+// same value may return a different result, and §6 notes GVN could
+// fold equivalent freezes only by replacing all uses at once. The
+// paper's prototype conservatively skipped this; Config.GVNFoldFreeze
+// enables it here as the described extension (sound: replaceAndErase
+// redirects every use, and merging only shrinks nondeterminism).
+type GVN struct{}
+
+// Name implements Pass.
+func (GVN) Name() string { return "gvn" }
+
+// Run implements Pass.
+func (GVN) Run(f *ir.Func, cfg *Config) bool {
+	dt := analysis.NewDomTree(f)
+	g := &gvnState{
+		f:          f,
+		dt:         dt,
+		leaders:    map[string]*ir.Instr{},
+		foldFreeze: cfg.GVNFoldFreeze,
+	}
+	propagate := cfg.Sem.BranchPoison == core.BranchPoisonIsUB || cfg.Unsound
+	return g.walk(f.Entry(), map[ir.Value]ir.Value{}, propagate)
+}
+
+type gvnState struct {
+	f          *ir.Func
+	dt         *analysis.DomTree
+	leaders    map[string]*ir.Instr
+	foldFreeze bool
+}
+
+// exprKey builds a structural key for a pure instruction under the
+// current equality substitution, or "" if the instruction must not be
+// numbered.
+func (g *gvnState) exprKey(in *ir.Instr, subst map[ir.Value]ir.Value) string {
+	switch in.Op {
+	case ir.OpFreeze:
+		if !g.foldFreeze {
+			return ""
+		}
+		// Freeze numbering is keyed on the operand like any other
+		// unary op; replacement redirects every use of the duplicate,
+		// satisfying the §6 all-uses caveat.
+	case ir.OpPhi, ir.OpLoad, ir.OpStore, ir.OpCall, ir.OpAlloca:
+		return ""
+	}
+	if in.Op.IsTerminator() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:%d:%d:%s:", in.Op, in.Attrs, in.Pred, in.Ty)
+	args := make([]string, in.NumArgs())
+	for i := 0; i < in.NumArgs(); i++ {
+		args[i] = operandKey(resolve(in.Arg(i), subst))
+		if args[i] == "" {
+			return ""
+		}
+	}
+	// Canonical operand order for commutative ops.
+	if in.Op.IsCommutative() && len(args) == 2 && args[1] < args[0] {
+		args[0], args[1] = args[1], args[0]
+	}
+	if in.Op == ir.OpICmp && len(args) == 2 && args[1] < args[0] {
+		// icmp: swapping operands requires swapping the predicate.
+		fmt.Fprintf(&b, "swapped:%d:", in.Pred.Swapped())
+		args[0], args[1] = args[1], args[0]
+	}
+	b.WriteString(strings.Join(args, ","))
+	return b.String()
+}
+
+func operandKey(v ir.Value) string {
+	switch x := v.(type) {
+	case *ir.Const:
+		return fmt.Sprintf("c%s:%d", x.Ty, x.Bits)
+	case *ir.Poison:
+		return "poison:" + x.Ty.String()
+	case *ir.Undef:
+		return "" // undef never equals undef
+	case *ir.Global:
+		return "g:" + x.Nam
+	case *ir.Param:
+		return fmt.Sprintf("p%d", x.Idx)
+	case *ir.Instr:
+		return "i:" + x.Nam
+	case *ir.VecConst:
+		return "v:" + x.Ident()
+	}
+	return ""
+}
+
+func resolve(v ir.Value, subst map[ir.Value]ir.Value) ir.Value {
+	for i := 0; i < 8; i++ {
+		nv, ok := subst[v]
+		if !ok {
+			return v
+		}
+		v = nv
+	}
+	return v
+}
+
+// walk numbers instructions in dominator-tree preorder, carrying the
+// branch-implied equality substitution.
+func (g *gvnState) walk(b *ir.Block, subst map[ir.Value]ir.Value, propagate bool) bool {
+	changed := false
+	for _, in := range append([]*ir.Instr(nil), b.Instrs()...) {
+		if in.Parent() == nil {
+			continue
+		}
+		// Apply pending substitutions to the operands.
+		for i := 0; i < in.NumArgs(); i++ {
+			if nv := resolve(in.Arg(i), subst); nv != in.Arg(i) {
+				// Never substitute into a phi: the equality only
+				// holds on this edge-dominated region, while phi
+				// operands are evaluated on the incoming edge.
+				if in.Op == ir.OpPhi {
+					continue
+				}
+				if g.operandAvailable(nv, in) {
+					in.SetArg(i, nv)
+					changed = true
+				}
+			}
+		}
+		key := g.exprKey(in, subst)
+		if key == "" {
+			continue
+		}
+		if leader, ok := g.leaders[key]; ok && leader.Parent() != nil && g.dt.InstrDominates(leader, in) {
+			replaceAndErase(in, leader)
+			changed = true
+			continue
+		}
+		g.leaders[key] = in
+	}
+
+	// Learn equalities from this block's conditional branch for
+	// children dominated by a single out-edge.
+	t := b.Terminator()
+	for _, kid := range g.dt.Children(b) {
+		kidSubst := subst
+		if propagate && t != nil && t.IsConditionalBr() {
+			if eqV, eqW, onTrue, ok := branchEquality(t); ok {
+				// kid is dominated by b; the equality holds in kid if
+				// kid is reachable only through the matching edge.
+				edge := t.BlockArg(0)
+				if !onTrue {
+					edge = t.BlockArg(1)
+				}
+				other := t.BlockArg(1)
+				if !onTrue {
+					other = t.BlockArg(0)
+				}
+				if edge != other && g.edgeDominates(b, edge, kid) {
+					kidSubst = map[ir.Value]ir.Value{}
+					for k, v := range subst {
+						kidSubst[k] = v
+					}
+					kidSubst[eqV] = eqW
+				}
+			}
+		}
+		changed = g.walk(kid, kidSubst, propagate) || changed
+	}
+	return changed
+}
+
+// operandAvailable reports whether the replacement value's definition
+// dominates the use site.
+func (g *gvnState) operandAvailable(v ir.Value, user *ir.Instr) bool {
+	return g.dt.InstrDominates(v, user)
+}
+
+// branchEquality extracts "a == b" facts from a conditional branch on
+// an icmp eq/ne. It returns the value to replace, its replacement
+// (preferring a constant or an earlier definition), and whether the
+// fact holds on the true edge.
+func branchEquality(t *ir.Instr) (from, to ir.Value, onTrue, ok bool) {
+	cmp, isInstr := t.Arg(0).(*ir.Instr)
+	if !isInstr || cmp.Op != ir.OpICmp {
+		return nil, nil, false, false
+	}
+	if cmp.Pred != ir.PredEQ && cmp.Pred != ir.PredNE {
+		return nil, nil, false, false
+	}
+	a, b := cmp.Arg(0), cmp.Arg(1)
+	onTrue = cmp.Pred == ir.PredEQ
+	// Prefer replacing a non-constant with a constant.
+	switch {
+	case ir.IsConstLeaf(b) && !ir.IsConstLeaf(a):
+		return a, b, onTrue, true
+	case ir.IsConstLeaf(a) && !ir.IsConstLeaf(b):
+		return b, a, onTrue, true
+	case !ir.IsConstLeaf(a) && !ir.IsConstLeaf(b):
+		// Replace the later definition with the earlier one; between
+		// an instruction and a parameter, prefer the parameter.
+		if _, isP := b.(*ir.Param); isP {
+			return a, b, onTrue, true
+		}
+		return b, a, onTrue, true
+	}
+	return nil, nil, false, false
+}
+
+// edgeDominates reports whether every path from the entry to kid goes
+// through the edge b→edge: true when edge's only predecessor is b and
+// edge dominates kid.
+func (g *gvnState) edgeDominates(b, edge, kid *ir.Block) bool {
+	preds := g.f.Preds(edge)
+	if len(preds) != 1 || preds[0] != b {
+		return false
+	}
+	return g.dt.Dominates(edge, kid)
+}

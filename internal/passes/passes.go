@@ -1,0 +1,180 @@
+// Package passes implements the optimizer: the transformation passes
+// the paper discusses, each in the variant(s) the paper identifies.
+//
+// Passes that were historically unsound (Section 3) are implemented
+// twice, selected by Config.Unsound:
+//
+//   - loop unswitching without freezing the hoisted condition (§3.3/§5.1)
+//   - LICM hoisting control-flow-guarded divisions (§3.2)
+//   - InstCombine's select↔arithmetic and select-undef folds (§3.4)
+//   - reassociation keeping nsw on rewritten subexpressions (§10.2)
+//
+// The fixed variants are sound under the paper's Freeze semantics and
+// are validated against the refine package by the tests and by the
+// Section 6 experiment (cmd/tame-bench -exp validate).
+package passes
+
+import (
+	"fmt"
+
+	"tameir/internal/analysis"
+	"tameir/internal/core"
+	"tameir/internal/ir"
+)
+
+// Config parameterizes every pass run.
+type Config struct {
+	// Sem is the semantics the output must refine the input under.
+	// The pipeline presets use core.LegacyOptions for the baseline
+	// compiler and core.FreezeOptions for the prototype.
+	Sem core.Options
+
+	// Unsound selects the historically buggy variants (see package
+	// comment). Only meaningful with legacy semantics; the fixed
+	// variants are used otherwise.
+	Unsound bool
+
+	// FreezeAware: passes recognize the freeze instruction instead of
+	// conservatively giving up. Turning it off reproduces the paper's
+	// §7.2 compile-time anecdote (jump threading not kicking in) and
+	// run-time regressions.
+	FreezeAware bool
+
+	// VerifyAfterEach re-runs the IR verifier after every pass and
+	// panics on failure (used by tests and fuzzing).
+	VerifyAfterEach bool
+
+	// GVNFoldFreeze enables the §6 future-work extension: GVN merges
+	// two freezes of the same value when one dominates the other.
+	// Sound because the duplicate's uses are ALL redirected at once —
+	// the caveat the paper's GVN expert stated — and because merging
+	// freezes only shrinks the nondeterminism (the reverse direction,
+	// splitting one freeze into two, is the §5.5 unsound duplication).
+	// Off by default, like the paper's prototype.
+	GVNFoldFreeze bool
+}
+
+// DefaultLegacyConfig is the baseline compiler: legacy semantics,
+// historically buggy passes, no freeze.
+func DefaultLegacyConfig() *Config {
+	return &Config{
+		Sem:     core.LegacyOptions(core.BranchPoisonNondet),
+		Unsound: true,
+	}
+}
+
+// DefaultFreezeConfig is the paper's prototype: freeze semantics,
+// fixed passes, freeze-aware optimizations.
+func DefaultFreezeConfig() *Config {
+	return &Config{
+		Sem:         core.FreezeOptions(),
+		FreezeAware: true,
+	}
+}
+
+// verifyMode maps the semantics to the matching IR verifier mode.
+func (cfg *Config) verifyMode() ir.VerifyMode {
+	if cfg.Sem.Mode == core.Freeze {
+		return ir.VerifyFreeze
+	}
+	return ir.VerifyLegacy
+}
+
+// Pass transforms one function.
+type Pass interface {
+	// Name is the pass's short identifier (e.g. "instcombine").
+	Name() string
+	// Run transforms f, returning whether anything changed.
+	Run(f *ir.Func, cfg *Config) bool
+}
+
+// RunPass runs a single pass and optionally verifies the result.
+func RunPass(p Pass, f *ir.Func, cfg *Config) bool {
+	changed := p.Run(f, cfg)
+	if cfg.VerifyAfterEach {
+		if err := ir.Verify(f, cfg.verifyMode()); err != nil {
+			panic(fmt.Sprintf("passes: %s broke @%s: %v\n%s", p.Name(), f.Name(), err, f))
+		}
+		if err := analysis.VerifySSA(f); err != nil {
+			panic(fmt.Sprintf("passes: %s broke SSA dominance in @%s: %v\n%s", p.Name(), f.Name(), err, f))
+		}
+	}
+	return changed
+}
+
+// Pipeline is an ordered list of passes with a fixpoint bound.
+type Pipeline struct {
+	Passes []Pass
+	// MaxIters bounds the number of whole-pipeline repetitions (the
+	// pipeline repeats while passes report changes). Default 3.
+	MaxIters int
+}
+
+// Run applies the pipeline to every function of m.
+func (pl *Pipeline) Run(m *ir.Module, cfg *Config) {
+	for _, f := range m.Funcs {
+		pl.RunFunc(f, cfg)
+	}
+}
+
+// RunFunc applies the pipeline to one function until fixpoint or the
+// iteration bound.
+func (pl *Pipeline) RunFunc(f *ir.Func, cfg *Config) {
+	iters := pl.MaxIters
+	if iters == 0 {
+		iters = 3
+	}
+	for i := 0; i < iters; i++ {
+		changed := false
+		for _, p := range pl.Passes {
+			if RunPass(p, f, cfg) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// O2 returns the standard optimization pipeline, approximating the
+// paper's "-O2 compiler flag" collection: canonicalize, scalarize
+// memory, peephole, CFG cleanup, value numbering, loop optimizations,
+// constant propagation, reassociation, and final cleanups.
+func O2() *Pipeline {
+	return &Pipeline{Passes: []Pass{
+		Mem2Reg{},
+		Inliner{},
+		InstSimplify{},
+		InstCombine{},
+		SimplifyCFG{},
+		SCCP{},
+		GVN{},
+		Reassociate{},
+		InstCombine{},
+		LICM{},
+		LoopUnswitch{},
+		IndVarWiden{},
+		JumpThreading{},
+		SimplifyCFG{},
+		InstCombine{},
+		ADCE{},
+		DCE{},
+		CodeGenPrepare{},
+		DCE{},
+	}}
+}
+
+// PassByName returns the pass with the given name, or nil.
+func PassByName(name string) Pass {
+	for _, p := range []Pass{
+		Mem2Reg{}, InstSimplify{}, InstCombine{}, SimplifyCFG{}, SCCP{},
+		GVN{}, Reassociate{}, LICM{}, LoopUnswitch{}, IndVarWiden{},
+		JumpThreading{}, DCE{}, ADCE{}, CodeGenPrepare{}, LoopSink{}, Inliner{}, MigrateUndef{},
+	} {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+; RUN: passes=gvn,dce sem=freeze
+define i8 @cse(i8 %x, i8 %y) {
+entry:
+  %a = add i8 %x, %y
+  %b = add i8 %y, %x
+  %r = xor i8 %a, %b
+  ret i8 %r
+}
+; CHECK: %a = add i8 %x, %y
+; CHECK-NEXT: %r = xor i8 %a, %a

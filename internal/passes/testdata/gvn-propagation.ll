@@ -1,0 +1,14 @@
+; RUN: passes=gvn sem=freeze
+; §3.3: after "if (t == y)", t is replaced by y in the then-region.
+define i8 @prop(i8 %x, i8 %y) {
+entry:
+  %t = add nsw i8 %x, 1
+  %cmp = icmp eq i8 %t, %y
+  br i1 %cmp, label %then, label %else
+then:
+  ret i8 %t
+else:
+  ret i8 0
+}
+; CHECK: then:
+; CHECK-NEXT: ret i8 %y

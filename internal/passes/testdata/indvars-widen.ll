@@ -1,0 +1,18 @@
+; RUN: passes=indvars sem=freeze
+; Figure 3: the in-loop sext is replaced by a wide IV.
+define i64 @widen(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp sle i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %iext = sext i32 %i to i64
+  %i1 = add nsw i32 %i, 1
+  br label %head
+exit:
+  ret i64 0
+}
+; CHECK: phi i64
+; CHECK-NOT: %iext

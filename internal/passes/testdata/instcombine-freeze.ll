@@ -1,0 +1,12 @@
+; RUN: passes=instcombine sem=freeze
+; §6 freeze clean-ups.
+define i8 @fz(i8 %x) {
+entry:
+  %f1 = freeze i8 %x
+  %f2 = freeze i8 %f1
+  %a = add i8 %f2, 0
+  %f3 = freeze i8 %a
+  ret i8 %f3
+}
+; CHECK: %f1 = freeze i8 %x
+; CHECK-NEXT: ret i8 %f1

@@ -1,0 +1,18 @@
+; RUN: passes=instcombine sem=freeze
+; The §3.1 rewrite, legal under the freeze semantics.
+define i8 @mul2(i8 %x) {
+entry:
+  %r = mul i8 %x, 2
+  ret i8 %r
+}
+; CHECK: @mul2
+; CHECK: %r = add i8 %x, %x
+; CHECK-NOT: mul i8
+
+define i8 @mul8(i8 %x) {
+entry:
+  %r = mul i8 %x, 8
+  ret i8 %r
+}
+; CHECK: @mul8
+; CHECK: shl i8 %x, 3

@@ -1,0 +1,9 @@
+; RUN: passes=instcombine sem=legacy
+; Fixed legacy combiner leaves the select alone (§3.4).
+define i1 @sel_keep(i1 %c, i1 %x) {
+entry:
+  %r = select i1 %c, i1 true, i1 %x
+  ret i1 %r
+}
+; CHECK: select i1 %c, i1 1, i1 %x
+; CHECK-NOT: or

@@ -1,0 +1,11 @@
+; RUN: passes=instcombine sem=freeze
+; §3.4 fixed rule: the or takes a frozen arm.
+define i1 @sel_or(i1 %c, i1 %x) {
+entry:
+  %r = select i1 %c, i1 true, i1 %x
+  ret i1 %r
+}
+; CHECK: @sel_or
+; CHECK: freeze i1 %x
+; CHECK: or i1 %c
+; CHECK-NOT: select

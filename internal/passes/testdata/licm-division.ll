@@ -1,0 +1,23 @@
+; RUN: passes=licm sem=freeze
+; §3.2: the guarded division must NOT hoist (k may be poison).
+define i8 @guarded(i8 %k, i8 %n) {
+entry:
+  %nz = icmp ne i8 %k, 0
+  br i1 %nz, label %pre, label %out
+pre:
+  br label %head
+head:
+  %i = phi i8 [ 0, %pre ], [ %i1, %body ]
+  %c = icmp slt i8 %i, %n
+  br i1 %c, label %body, label %out
+body:
+  %q = udiv i8 1, %k
+  %i1 = add nsw i8 %i, 1
+  br label %head
+out:
+  ret i8 0
+}
+; CHECK: pre:
+; CHECK-NEXT: br label %head
+; CHECK: body:
+; CHECK: udiv

@@ -1,0 +1,21 @@
+; RUN: passes=licm sem=freeze
+; Figure 1: the invariant nsw add hoists to the preheader.
+define void @fig1(i8 %x, i8 %n, ptr %a) {
+entry:
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %i1, %body ]
+  %c = icmp slt i8 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %x1 = add nsw i8 %x, 1
+  %p = getelementptr i8, ptr %a, i8 %i
+  store i8 %x1, ptr %p
+  %i1 = add nsw i8 %i, 1
+  br label %head
+exit:
+  ret void
+}
+; CHECK: entry:
+; CHECK-NEXT: %x1 = add nsw i8 %x, 1
+; CHECK-NEXT: br label %head

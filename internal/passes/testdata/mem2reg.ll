@@ -1,0 +1,16 @@
+; RUN: passes=mem2reg sem=freeze
+; Figure 2: the path skipping the store yields poison into the phi.
+define i8 @fig2(i1 %cond, i8 %v) {
+entry:
+  %x = alloca i8, i32 1
+  br i1 %cond, label %assign, label %skip
+assign:
+  store i8 %v, ptr %x
+  br label %skip
+skip:
+  %r = load i8, ptr %x
+  ret i8 %r
+}
+; CHECK: [ poison,
+; CHECK-NOT: alloca
+; CHECK-NOT: alloca

@@ -1,0 +1,12 @@
+; RUN: passes=reassociate sem=freeze
+; §10.2: constants combine and nsw is dropped.
+define i8 @reassoc(i8 %a, i8 %b) {
+entry:
+  %t1 = add nsw i8 %a, 10
+  %t2 = add nsw i8 %t1, %b
+  %t3 = add nsw i8 %t2, 20
+  ret i8 %t3
+}
+; CHECK: add i8 %a, %b
+; CHECK: , 30
+; CHECK-NOT: nsw

@@ -1,0 +1,14 @@
+; RUN: passes=sccp sem=freeze
+define i8 @fold(i8 %x) {
+entry:
+  %a = add i8 2, 3
+  %c = icmp eq i8 %a, 5
+  br i1 %c, label %t, label %e
+t:
+  %r = mul i8 %a, 2
+  ret i8 %r
+e:
+  ret i8 %x
+}
+; CHECK: t:
+; CHECK-NEXT: ret i8 10

@@ -1,0 +1,14 @@
+; RUN: passes=simplifycfg sem=freeze
+define i8 @diamond(i1 %c, i8 %a, i8 %b) {
+entry:
+  br i1 %c, label %t, label %e
+t:
+  br label %m
+e:
+  br label %m
+m:
+  %x = phi i8 [ %a, %t ], [ %b, %e ]
+  ret i8 %x
+}
+; CHECK: select i1 %c, i8 %a, i8 %b
+; CHECK-NOT: phi

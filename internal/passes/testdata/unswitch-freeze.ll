@@ -1,0 +1,22 @@
+; RUN: passes=loopunswitch sem=freeze
+; §5.1: the hoisted condition is frozen.
+define i8 @unswitch(i1 %c2, i1 %c) {
+entry:
+  br label %head
+head:
+  %cc = phi i1 [ %c, %entry ], [ false, %latch ]
+  br i1 %cc, label %body, label %exit
+body:
+  br i1 %c2, label %foo, label %bar
+foo:
+  br label %latch
+bar:
+  br label %latch
+latch:
+  br label %head
+exit:
+  ret i8 0
+}
+; CHECK: entry:
+; CHECK: freeze i1 %c2
+; CHECK: br i1 %unswitch.frz

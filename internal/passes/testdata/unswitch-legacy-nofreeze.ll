@@ -1,0 +1,22 @@
+; RUN: passes=loopunswitch sem=legacy unsound
+; The historical unswitch branches on the raw condition.
+define i8 @unswitch(i1 %c2, i1 %c) {
+entry:
+  br label %head
+head:
+  %cc = phi i1 [ %c, %entry ], [ false, %latch ]
+  br i1 %cc, label %body, label %exit
+body:
+  br i1 %c2, label %foo, label %bar
+foo:
+  br label %latch
+bar:
+  br label %latch
+latch:
+  br label %head
+exit:
+  ret i8 0
+}
+; CHECK: entry:
+; CHECK: br i1 %c2, label %head
+; CHECK-NOT: freeze

@@ -1,0 +1,580 @@
+package refine
+
+import (
+	"testing"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+)
+
+// corpusCase is one transformation in the Alive-style corpus: source,
+// target, the semantics to judge under, and the expected verdict.
+// The corpus collects the paper's examples plus classic
+// InstCombine-style rewrites, so that any semantics regression in core
+// or refine trips dozens of independent checks.
+type corpusCase struct {
+	name string
+	sem  string // "freeze", "legacy-ub", "legacy-nondet"
+	src  string
+	tgt  string
+	want Status
+}
+
+func semOptions(s string) core.Options {
+	switch s {
+	case "freeze":
+		return core.FreezeOptions()
+	case "legacy-ub":
+		return core.LegacyOptions(core.BranchPoisonIsUB)
+	case "legacy-nondet":
+		return core.LegacyOptions(core.BranchPoisonNondet)
+	}
+	panic("bad semantics " + s)
+}
+
+var corpus = []corpusCase{
+	// --- arithmetic identities (sound everywhere) ---
+	{
+		name: "add-commute", sem: "freeze", want: Verified,
+		src: `define i3 @f(i3 %a, i3 %b) {
+entry:
+  %r = add i3 %a, %b
+  ret i3 %r
+}`,
+		tgt: `define i3 @f(i3 %a, i3 %b) {
+entry:
+  %r = add i3 %b, %a
+  ret i3 %r
+}`,
+	},
+	{
+		name: "sub-to-add-neg", sem: "freeze", want: Verified,
+		src: `define i3 @f(i3 %a, i3 %b) {
+entry:
+  %r = sub i3 %a, %b
+  ret i3 %r
+}`,
+		tgt: `define i3 @f(i3 %a, i3 %b) {
+entry:
+  %n = sub i3 0, %b
+  %r = add i3 %a, %n
+  ret i3 %r
+}`,
+	},
+	{
+		name: "shl-to-mul", sem: "freeze", want: Verified,
+		src: `define i3 @f(i3 %a) {
+entry:
+  %r = shl i3 %a, 1
+  ret i3 %r
+}`,
+		tgt: `define i3 @f(i3 %a) {
+entry:
+  %r = mul i3 %a, 2
+  ret i3 %r
+}`,
+	},
+	{
+		name: "neg-neg", sem: "legacy-nondet", want: Verified,
+		src: `define i3 @f(i3 %a) {
+entry:
+  %n = sub i3 0, %a
+  %r = sub i3 0, %n
+  ret i3 %r
+}`,
+		tgt: `define i3 @f(i3 %a) {
+entry:
+  ret i3 %a
+}`,
+	},
+	{
+		name: "xor-cancel", sem: "freeze", want: Verified,
+		src: `define i3 @f(i3 %a, i3 %b) {
+entry:
+  %x = xor i3 %a, %b
+  %r = xor i3 %x, %b
+  ret i3 %r
+}`,
+		tgt: `define i3 @f(i3 %a, i3 %b) {
+entry:
+  ret i3 %a
+}`,
+	},
+	{
+		name: "icmp-ult-1-is-eq-0", sem: "freeze", want: Verified,
+		src: `define i1 @f(i3 %a) {
+entry:
+  %r = icmp ult i3 %a, 1
+  ret i1 %r
+}`,
+		tgt: `define i1 @f(i3 %a) {
+entry:
+  %r = icmp eq i3 %a, 0
+  ret i1 %r
+}`,
+	},
+	{
+		name: "demorgan", sem: "freeze", want: Verified,
+		src: `define i2 @f(i2 %a, i2 %b) {
+entry:
+  %x = and i2 %a, %b
+  %r = xor i2 %x, -1
+  ret i2 %r
+}`,
+		tgt: `define i2 @f(i2 %a, i2 %b) {
+entry:
+  %na = xor i2 %a, -1
+  %nb = xor i2 %b, -1
+  %r = or i2 %na, %nb
+  ret i2 %r
+}`,
+	},
+
+	// --- attribute handling ---
+	{
+		name: "drop-nuw", sem: "freeze", want: Verified,
+		src: `define i2 @f(i2 %a) {
+entry:
+  %r = add nuw i2 %a, 1
+  ret i2 %r
+}`,
+		tgt: `define i2 @f(i2 %a) {
+entry:
+  %r = add i2 %a, 1
+  ret i2 %r
+}`,
+	},
+	{
+		name: "introduce-nuw", sem: "freeze", want: Refuted,
+		src: `define i2 @f(i2 %a) {
+entry:
+  %r = add i2 %a, 1
+  ret i2 %r
+}`,
+		tgt: `define i2 @f(i2 %a) {
+entry:
+  %r = add nuw i2 %a, 1
+  ret i2 %r
+}`,
+	},
+	{
+		name: "exact-udiv-roundtrip", sem: "freeze", want: Verified,
+		// (a exact/ 2) * 2 == a when the division is exact; poison
+		// otherwise on both sides? Source: mul(udiv exact a,2, 2):
+		// division inexact → poison → mul poison. Target a... NOT a
+		// refinement in that direction; check the sound direction:
+		// replacing the round trip with a is only sound when... it is
+		// NOT; expect the checker to verify the reverse: a → roundtrip
+		// is refuted too. Keep the trivially-true self pair with exact
+		// to pin exact's semantics.
+		src: `define i2 @f(i2 %a) {
+entry:
+  %d = udiv exact i2 %a, 2
+  ret i2 %d
+}`,
+		tgt: `define i2 @f(i2 %a) {
+entry:
+  %d = udiv exact i2 %a, 2
+  ret i2 %d
+}`,
+	},
+	{
+		name: "exact-roundtrip-to-identity", sem: "freeze", want: Refuted,
+		// mul (udiv exact %a, 2), 2 → %a is WRONG: for odd a the
+		// source is poison·2 = poison... poison ⊒ a, so that direction
+		// refines! The refuted direction: %a → the round trip (adds
+		// poison).
+		src: `define i2 @f(i2 %a) {
+entry:
+  ret i2 %a
+}`,
+		tgt: `define i2 @f(i2 %a) {
+entry:
+  %d = udiv exact i2 %a, 2
+  %r = mul i2 %d, 2
+  ret i2 %r
+}`,
+	},
+
+	// --- freeze algebra ---
+	{
+		name: "freeze-of-freeze", sem: "freeze", want: Verified,
+		src: `define i2 @f(i2 %a) {
+entry:
+  %x = freeze i2 %a
+  %y = freeze i2 %x
+  ret i2 %y
+}`,
+		tgt: `define i2 @f(i2 %a) {
+entry:
+  %x = freeze i2 %a
+  ret i2 %x
+}`,
+	},
+	{
+		name: "freeze-pushes-through-add-of-const", sem: "freeze", want: Verified,
+		// freeze(add x, 1) → add(freeze x), 1: sound — LLVM does this
+		// to shorten poison chains (and it is exactly CodeGenPrepare's
+		// icmp rewrite shape).
+		src: `define i2 @f(i2 %a) {
+entry:
+  %s = add i2 %a, 1
+  %r = freeze i2 %s
+  ret i2 %r
+}`,
+		tgt: `define i2 @f(i2 %a) {
+entry:
+  %fa = freeze i2 %a
+  %r = add i2 %fa, 1
+  ret i2 %r
+}`,
+	},
+	{
+		name: "freeze-pull-OUT-of-nsw-add-unsound", sem: "freeze", want: Refuted,
+		// The other direction with a poison-GENERATING op is wrong:
+		// add nsw (freeze x), 1 is poison only on real overflow, while
+		// freeze(add nsw x, 1) is never poison.
+		src: `define i2 @f(i2 %a) {
+entry:
+  %s = add nsw i2 %a, 1
+  %r = freeze i2 %s
+  ret i2 %r
+}`,
+		tgt: `define i2 @f(i2 %a) {
+entry:
+  %fa = freeze i2 %a
+  %r = add nsw i2 %fa, 1
+  ret i2 %r
+}`,
+	},
+	{
+		name: "freeze-not-idempotent-across-uses", sem: "freeze", want: Refuted,
+		// Replacing two freezes of the same value with one changes
+		// nothing... in the OTHER direction: one freeze split into two
+		// grows the behaviour set.
+		src: `define i2 @f(i2 %a) {
+entry:
+  %x = freeze i2 %a
+  %r = xor i2 %x, %x
+  ret i2 %r
+}`,
+		tgt: `define i2 @f(i2 %a) {
+entry:
+  %x = freeze i2 %a
+  %y = freeze i2 %a
+  %r = xor i2 %x, %y
+  ret i2 %r
+}`,
+	},
+
+	// --- select / branch corner (§3.4) ---
+	{
+		name: "select-same-arms", sem: "freeze", want: Verified,
+		src: `define i2 @f(i1 %c, i2 %a) {
+entry:
+  %r = select i1 %c, i2 %a, i2 %a
+  ret i2 %r
+}`,
+		tgt: `define i2 @f(i1 %c, i2 %a) {
+entry:
+  ret i2 %a
+}`,
+	},
+	{
+		name: "select-const-fold-cond", sem: "freeze", want: Verified,
+		src: `define i2 @f(i2 %a, i2 %b) {
+entry:
+  %r = select i1 true, i2 %a, i2 %b
+  ret i2 %r
+}`,
+		tgt: `define i2 @f(i2 %a, i2 %b) {
+entry:
+  ret i2 %a
+}`,
+	},
+	{
+		name: "select-to-and-unsound", sem: "freeze", want: Refuted,
+		src: `define i1 @f(i1 %c, i1 %x) {
+entry:
+  %r = select i1 %c, i1 %x, i1 false
+  ret i1 %r
+}`,
+		tgt: `define i1 @f(i1 %c, i1 %x) {
+entry:
+  %r = and i1 %c, %x
+  ret i1 %r
+}`,
+	},
+	{
+		name: "select-to-and-frozen-sound", sem: "freeze", want: Verified,
+		src: `define i1 @f(i1 %c, i1 %x) {
+entry:
+  %r = select i1 %c, i1 %x, i1 false
+  ret i1 %r
+}`,
+		tgt: `define i1 @f(i1 %c, i1 %x) {
+entry:
+  %fx = freeze i1 %x
+  %r = and i1 %c, %fx
+  ret i1 %r
+}`,
+	},
+
+	// --- undef-specific lore (legacy semantics) ---
+	{
+		name: "undef-xor-self-not-zero", sem: "legacy-nondet", want: Refuted,
+		// xor undef, undef is NOT 0 in the other direction: replacing
+		// 0 with it grows the set.
+		src: `define i2 @f() {
+entry:
+  ret i2 0
+}`,
+		tgt: `define i2 @f() {
+entry:
+  %r = xor i2 undef, undef
+  ret i2 %r
+}`,
+	},
+	{
+		name: "undef-and-x-to-zero", sem: "legacy-nondet", want: Verified,
+		src: `define i2 @f(i2 %x) {
+entry:
+  %r = and i2 %x, undef
+  ret i2 %r
+}`,
+		tgt: `define i2 @f(i2 %x) {
+entry:
+  ret i2 0
+}`,
+	},
+	{
+		name: "undef-or-x-to-allones", sem: "legacy-nondet", want: Verified,
+		src: `define i2 @f(i2 %x) {
+entry:
+  %r = or i2 %x, undef
+  ret i2 %r
+}`,
+		tgt: `define i2 @f(i2 %x) {
+entry:
+  ret i2 -1
+}`,
+	},
+	{
+		name: "undef-plus-x-to-undef", sem: "legacy-nondet", want: Verified,
+		src: `define i2 @f(i2 %x) {
+entry:
+  %r = add i2 %x, undef
+  ret i2 %r
+}`,
+		tgt: `define i2 @f(i2 %x) {
+entry:
+  ret i2 undef
+}`,
+	},
+	{
+		name: "undef-shl-IS-undef-via-overshift", sem: "legacy-nondet", want: Verified,
+		// Subtle: "shl 1, undef → undef" looks wrong (in-range shifts
+		// only produce 1 or 2), but the undef amount can also resolve
+		// to 2 or 3 — an over-shift, which §2.3 defines as undef under
+		// the legacy semantics. The undef result therefore IS in the
+		// source's behaviour set and the fold verifies. Our checker
+		// discovered this during corpus construction.
+		src: `define i2 @f() {
+entry:
+  %r = shl i2 1, undef
+  ret i2 %r
+}`,
+		tgt: `define i2 @f() {
+entry:
+  ret i2 undef
+}`,
+	},
+	{
+		name: "inrange-shl-of-undef-amount-not-undef", sem: "legacy-nondet", want: Refuted,
+		// Masking the amount to stay in range removes the over-shift
+		// escape hatch: now only 1 and 2 are producible and the fold
+		// to undef is wrong.
+		src: `define i2 @f() {
+entry:
+  %amt = and i2 undef, 1
+  %r = shl i2 1, %amt
+  ret i2 %r
+}`,
+		tgt: `define i2 @f() {
+entry:
+  ret i2 undef
+}`,
+	},
+
+	// --- poison strength (§3.4 footnote: poison stronger than undef) ---
+	{
+		name: "undef-refines-to-concrete", sem: "legacy-nondet", want: Verified,
+		src: `define i2 @f() {
+entry:
+  ret i2 undef
+}`,
+		tgt: `define i2 @f() {
+entry:
+  ret i2 2
+}`,
+	},
+	{
+		name: "undef-to-poison-unsound", sem: "legacy-nondet", want: Refuted,
+		src: `define i2 @f() {
+entry:
+  ret i2 undef
+}`,
+		tgt: `define i2 @f() {
+entry:
+  ret i2 poison
+}`,
+	},
+	{
+		name: "poison-to-undef-sound", sem: "legacy-nondet", want: Verified,
+		src: `define i2 @f() {
+entry:
+  ret i2 poison
+}`,
+		tgt: `define i2 @f() {
+entry:
+  ret i2 undef
+}`,
+	},
+
+	// --- control flow ---
+	{
+		name: "branch-round-trip", sem: "freeze", want: Verified,
+		src: `define i2 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i2 1
+b:
+  ret i2 2
+}`,
+		tgt: `define i2 @f(i1 %c) {
+entry:
+  %r = select i1 %c, i2 1, i2 2
+  ret i2 %r
+}`,
+	},
+	{
+		name: "branch-to-select-hides-UB", sem: "freeze", want: Verified,
+		// Wait: converting branch to select REMOVES the branch-on-
+		// poison UB — removing UB is a refinement, so this verifies.
+		src: `define i2 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i2 1
+b:
+  ret i2 2
+}`,
+		tgt: `define i2 @f(i1 %c) {
+entry:
+  %fc = freeze i1 %c
+  %r = select i1 %fc, i2 1, i2 2
+  ret i2 %r
+}`,
+	},
+	{
+		name: "select-to-branch-introduces-UB", sem: "freeze", want: Refuted,
+		src: `define i2 @f(i1 %c) {
+entry:
+  %r = select i1 %c, i2 1, i2 2
+  ret i2 %r
+}`,
+		tgt: `define i2 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i2 1
+b:
+  ret i2 2
+}`,
+	},
+	{
+		name: "dead-code-removal", sem: "freeze", want: Verified,
+		src: `define i2 @f(i2 %a) {
+entry:
+  %dead = udiv i2 1, %a
+  ret i2 %a
+}`,
+		tgt: `define i2 @f(i2 %a) {
+entry:
+  ret i2 %a
+}`,
+	},
+	{
+		name: "speculating-division-unsound", sem: "freeze", want: Refuted,
+		src: `define i2 @f(i2 %a) {
+entry:
+  ret i2 %a
+}`,
+		tgt: `define i2 @f(i2 %a) {
+entry:
+  %dead = udiv i2 1, %a
+  ret i2 %a
+}`,
+	},
+
+	// --- nsw reasoning (§2) ---
+	{
+		name: "nsw-inc-sgt", sem: "freeze", want: Verified,
+		// a + 1 > a with nsw folds to true.
+		src: `define i1 @f(i3 %a) {
+entry:
+  %i = add nsw i3 %a, 1
+  %r = icmp sgt i3 %i, %a
+  ret i1 %r
+}`,
+		tgt: `define i1 @f(i3 %a) {
+entry:
+  ret i1 true
+}`,
+	},
+	{
+		name: "wrapping-inc-sgt-not-true", sem: "freeze", want: Refuted,
+		src: `define i1 @f(i3 %a) {
+entry:
+  %i = add i3 %a, 1
+  %r = icmp sgt i3 %i, %a
+  ret i1 %r
+}`,
+		tgt: `define i1 @f(i3 %a) {
+entry:
+  ret i1 true
+}`,
+	},
+}
+
+func TestAliveCorpus(t *testing.T) {
+	for _, c := range corpus {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			opts := semOptions(c.sem)
+			src := ir.MustParseFunc(c.src)
+			tgt := ir.MustParseFunc(c.tgt)
+			r := Check(src, tgt, DefaultConfig(opts, opts))
+			if r.Status != c.want {
+				t.Errorf("%s under %s: got %s, want %v", c.name, c.sem, r, c.want)
+			}
+		})
+	}
+}
+
+// Every Verified corpus case must also verify in a fresh direction
+// check with itself (sanity that parsing both sides kept signatures
+// compatible).
+func TestAliveCorpusSelfChecks(t *testing.T) {
+	for _, c := range corpus {
+		opts := semOptions(c.sem)
+		for _, side := range []string{c.src, c.tgt} {
+			f := ir.MustParseFunc(side)
+			r := Check(f, f, DefaultConfig(opts, opts))
+			if r.Status == Refuted {
+				t.Errorf("%s: self-refinement refuted:\n%s\n%s", c.name, side, r)
+			}
+		}
+	}
+}

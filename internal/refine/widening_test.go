@@ -1,0 +1,136 @@
+package refine
+
+import (
+	"testing"
+
+	"tameir/internal/core"
+)
+
+// Section 5.4: load widening. Widening a 16-bit load to a 32-bit load
+// is WRONG under the poison semantics — the extra 16 bits may be
+// uninitialized (poison) and ty↑ poisons the whole scalar. Widening to
+// a *vector* load is right: poison stays per-element.
+
+const narrowLoadSrc = `define i16 @f() {
+entry:
+  %buf = alloca i32, i32 1
+  store i16 7, ptr %buf
+  %a = load i16, ptr %buf
+  ret i16 %a
+}`
+
+const scalarWidenedSrc = `define i16 @f() {
+entry:
+  %buf = alloca i32, i32 1
+  store i16 7, ptr %buf
+  %wide = load i32, ptr %buf
+  %a = trunc i32 %wide to i16
+  ret i16 %a
+}`
+
+const vectorWidenedSrc = `define i16 @f() {
+entry:
+  %buf = alloca i32, i32 1
+  store i16 7, ptr %buf
+  %tmp = load <2 x i16>, ptr %buf
+  %a = extractelement <2 x i16> %tmp, i32 0
+  ret i16 %a
+}`
+
+func TestSection54LoadWidening(t *testing.T) {
+	opts := core.FreezeOptions()
+	cfg := DefaultConfig(opts, opts)
+
+	r := check(t, narrowLoadSrc, scalarWidenedSrc, opts, opts)
+	if r.Status != Refuted {
+		t.Errorf("scalar load widening should be refuted (§5.4): %s", r)
+	}
+	r = check(t, narrowLoadSrc, vectorWidenedSrc, opts, opts)
+	if r.Status != Verified {
+		t.Errorf("vector load widening should verify (§5.4): %s", r)
+	}
+	_ = cfg
+}
+
+// Section 10.1: "small memcpy calls can be optimized into load/store
+// operations of 4 or 8-bytes integers, but this is incorrect under the
+// proposed semantics because existence of a poison bit in an input
+// array element may contaminate the entire loaded value."
+//
+// Source: copy two bytes one at a time (one initialized, one not),
+// then read back the initialized one. Target: copy both with a single
+// i16 load/store.
+const byteCopySrc = `define i8 @f() {
+entry:
+  %src = alloca i16, i32 1
+  %dst = alloca i16, i32 1
+  store i8 42, ptr %src
+  %b0 = load i8, ptr %src
+  store i8 %b0, ptr %dst
+  %p1 = getelementptr i8, ptr %src, i32 1
+  %q1 = getelementptr i8, ptr %dst, i32 1
+  %b1 = load i8, ptr %p1
+  store i8 %b1, ptr %q1
+  %r = load i8, ptr %dst
+  ret i8 %r
+}`
+
+const wideCopySrc = `define i8 @f() {
+entry:
+  %src = alloca i16, i32 1
+  %dst = alloca i16, i32 1
+  store i8 42, ptr %src
+  %w = load i16, ptr %src
+  store i16 %w, ptr %dst
+  %r = load i8, ptr %dst
+  ret i8 %r
+}`
+
+func TestSection10MemcpyNarrowing(t *testing.T) {
+	opts := core.FreezeOptions()
+
+	// Byte-wise copy: the defined byte survives; returns 42.
+	r := check(t, byteCopySrc, byteCopySrc, opts, opts)
+	if r.Status != Verified {
+		t.Fatalf("byte copy self-check: %s", r)
+	}
+	// Widening the copy to i16 is a refinement violation: the poison
+	// high byte poisons the whole 16-bit load, and the wide store
+	// writes poison over the defined byte too.
+	r = check(t, byteCopySrc, wideCopySrc, opts, opts)
+	if r.Status != Refuted {
+		t.Errorf("i16-widened memcpy should be refuted (§10.1): %s", r)
+	}
+	// The vector-based fix works here as well.
+	vecCopy := `define i8 @f() {
+entry:
+  %src = alloca i16, i32 1
+  %dst = alloca i16, i32 1
+  store i8 42, ptr %src
+  %w = load <2 x i8>, ptr %src
+  store <2 x i8> %w, ptr %dst
+  %r = load i8, ptr %dst
+  ret i8 %r
+}`
+	r = check(t, byteCopySrc, vecCopy, opts, opts)
+	if r.Status != Verified {
+		t.Errorf("vector memcpy should verify: %s", r)
+	}
+}
+
+// Legacy contrast: under undef semantics the scalar widenings are
+// refinements... they are NOT exact either — undef bits also smear
+// through ty↑? Legacy ty↑ resolves partially-undef lanes bit-wise, so
+// the defined byte survives a wide load. Both widenings verify, which
+// is why LLVM shipped them for years without (visible) incident.
+func TestWideningLegacyContrast(t *testing.T) {
+	legacy := core.LegacyOptions(core.BranchPoisonNondet)
+	r := check(t, narrowLoadSrc, scalarWidenedSrc, legacy, legacy)
+	if r.Status == Refuted {
+		t.Errorf("scalar widening should be acceptable under legacy undef memory: %s", r)
+	}
+	r = check(t, byteCopySrc, wideCopySrc, legacy, legacy)
+	if r.Status == Refuted {
+		t.Errorf("wide memcpy should be acceptable under legacy undef memory: %s", r)
+	}
+}

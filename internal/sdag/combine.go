@@ -1,0 +1,77 @@
+package sdag
+
+import (
+	"tameir/internal/core"
+	"tameir/internal/ir"
+)
+
+// Combine runs the DAG combiner: a small set of peephole rewrites at
+// the DAG level (constant folding and trivial identities). Deferred-UB
+// operands never reach this layer as foldable constants — NUndefReg is
+// a register read, which keeps the combiner trivially sound.
+func Combine(fd *FuncDAG) {
+	seen := map[*Node]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for i, a := range n.Args {
+			walk(a)
+			if r := combineNode(a); r != nil {
+				n.Args[i] = r
+			}
+		}
+	}
+	for _, b := range fd.Blocks {
+		for _, r := range b.Roots {
+			walk(r)
+		}
+	}
+}
+
+// combineNode returns a replacement for n, or nil.
+func combineNode(n *Node) *Node {
+	switch n.Op {
+	case NBinop:
+		x, y := n.Args[0], n.Args[1]
+		if x.Op == NConst && y.Op == NConst {
+			s, ub := core.EvalBinopConcrete(n.IROp, 0, n.Bits, x.Imm, y.Imm, core.Freeze)
+			if ub == "" && s.Kind == core.Concrete {
+				return &Node{Op: NConst, Bits: n.Bits, Imm: s.Bits}
+			}
+		}
+		// x + 0, x | 0, x ^ 0, x << 0 ... identity on the right.
+		if y.Op == NConst && y.Imm == 0 {
+			switch n.IROp {
+			case ir.OpAdd, ir.OpSub, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr:
+				return x
+			}
+		}
+		if y.Op == NConst && y.Imm == 1 && n.IROp == ir.OpMul {
+			return x
+		}
+	case NZExt:
+		// Values are already zero-extended in registers.
+		return n.Args[0]
+	case NMask:
+		a := n.Args[0]
+		if a.Op == NConst {
+			return &Node{Op: NConst, Bits: n.Bits, Imm: ir.TruncBits(a.Imm, n.Bits)}
+		}
+		if a.Op == NMask && a.Bits <= n.Bits {
+			return a
+		}
+	case NFreeze:
+		// freeze(freeze(x)) → freeze(x) also holds at DAG level.
+		if n.Args[0].Op == NFreeze {
+			return n.Args[0]
+		}
+		// freeze(const) → const.
+		if n.Args[0].Op == NConst {
+			return n.Args[0]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package sdag
+
+import (
+	"testing"
+
+	"tameir/internal/ir"
+)
+
+func build(t *testing.T, src string) (*ir.Module, *FuncDAG) {
+	t.Helper()
+	mod := ir.MustParseModule(src)
+	fd, err := Build(mod, mod.Funcs[len(mod.Funcs)-1])
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return mod, fd
+}
+
+func countNodes(fd *FuncDAG, op NodeOp) int {
+	n := 0
+	seen := map[*Node]bool{}
+	var walk func(nd *Node)
+	walk = func(nd *Node) {
+		if seen[nd] {
+			return
+		}
+		seen[nd] = true
+		if nd.Op == op {
+			n++
+		}
+		for _, a := range nd.Args {
+			walk(a)
+		}
+	}
+	for _, b := range fd.Blocks {
+		for _, r := range b.Roots {
+			walk(r)
+		}
+	}
+	return n
+}
+
+func TestBuildFreezeAndPoisonNodes(t *testing.T) {
+	// §6: a freeze in the IR maps directly to a freeze in the DAG;
+	// poison becomes an undef-register read.
+	_, fd := build(t, `define i32 @f(i32 %x) {
+entry:
+  %p = add i32 %x, poison
+  %fz = freeze i32 %p
+  ret i32 %fz
+}`)
+	if countNodes(fd, NFreeze) != 1 {
+		t.Error("freeze did not map to an NFreeze node")
+	}
+	if countNodes(fd, NUndefReg) != 1 {
+		t.Error("poison did not map to an NUndefReg node")
+	}
+}
+
+func TestBuildIllegalTypeFreeze(t *testing.T) {
+	// Type legalization must handle freeze of an illegal (sub-word)
+	// type: the node keeps its logical width; the register invariant
+	// (zero-extended) means no masking is required for the copy.
+	_, fd := build(t, `define i2 @f(i2 %x) {
+entry:
+  %fz = freeze i2 %x
+  ret i2 %fz
+}`)
+	seen := false
+	for _, b := range fd.Blocks {
+		for _, r := range b.Roots {
+			var walk func(n *Node)
+			walk = func(n *Node) {
+				if n.Op == NFreeze {
+					seen = true
+					if n.Bits != 2 {
+						t.Errorf("freeze node width = %d, want the logical 2", n.Bits)
+					}
+				}
+				for _, a := range n.Args {
+					walk(a)
+				}
+			}
+			walk(r)
+		}
+	}
+	if !seen {
+		t.Fatal("no freeze node")
+	}
+}
+
+func TestBuildRejectsVectors(t *testing.T) {
+	mod := ir.MustParseModule(`define <2 x i16> @f(<2 x i16> %v) {
+entry:
+  ret <2 x i16> %v
+}`)
+	if _, err := Build(mod, mod.Funcs[0]); err == nil {
+		t.Error("vector function must be rejected")
+	}
+}
+
+func TestBuildRejectsNonEntryAlloca(t *testing.T) {
+	mod := ir.MustParseModule(`define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %s = alloca i32, i32 1
+  %v = load i32, ptr %s
+  ret i32 %v
+b:
+  ret i32 0
+}`)
+	if _, err := Build(mod, mod.Funcs[0]); err == nil {
+		t.Error("non-entry alloca must be rejected")
+	}
+}
+
+func TestPhiVRegSplit(t *testing.T) {
+	// The lost-copy guard: each phi uses two vregs (in and out), so a
+	// latch's edge copies cannot be observed on the exit edge.
+	_, fd := build(t, `define i32 @f(i32 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %i1, %loop ]
+  %i1 = add i32 %i, 1
+  %c = icmp ult i32 %i1, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret i32 %i
+}`)
+	// Params: 1 vreg. Phi: 2 (in+out). i1, c cross-block? i1 used by
+	// phi (cross-block) → 1. c used in same block only → 0. Plus phi
+	// copy temps. Expect at least 1+2+1 distinct vregs.
+	if fd.NumVRegs < 4 {
+		t.Errorf("NumVRegs = %d, expected the phi in/out split to allocate more", fd.NumVRegs)
+	}
+}
+
+func TestCombineFoldsConstants(t *testing.T) {
+	_, fd := build(t, `define i32 @f(i32 %x) {
+entry:
+  %a = add i32 2, 3
+  %b = add i32 %x, %a
+  ret i32 %b
+}`)
+	Combine(fd)
+	// The inner add folded to a constant 5 operand.
+	found := false
+	seen := map[*Node]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Op == NBinop {
+			for _, a := range n.Args {
+				if a.Op == NConst && a.Imm == 5 {
+					found = true
+				}
+			}
+		}
+		for _, a := range n.Args {
+			walk(a)
+		}
+	}
+	for _, b := range fd.Blocks {
+		for _, r := range b.Roots {
+			walk(r)
+		}
+	}
+	if !found {
+		t.Error("DAG combine did not fold 2+3")
+	}
+}
+
+func TestCombineFreezeRules(t *testing.T) {
+	_, fd := build(t, `define i32 @f() {
+entry:
+  %fz = freeze i32 7
+  ret i32 %fz
+}`)
+	Combine(fd)
+	// freeze(const) folds at the DAG level too: the ret's operand is
+	// the constant.
+	last := fd.Blocks[0].Roots[len(fd.Blocks[0].Roots)-1]
+	if last.Op != NRet || last.Args[0].Op != NConst || last.Args[0].Imm != 7 {
+		t.Errorf("freeze(7) not combined away; ret arg is %s", last.Args[0].Op)
+	}
+}
+
+func TestUsesCounting(t *testing.T) {
+	_, fd := build(t, `define i1 @f(i32 %x) {
+entry:
+  %c = icmp ult i32 %x, 10
+  br i1 %c, label %a, label %b
+a:
+  ret i1 %c
+b:
+  ret i1 false
+}`)
+	// %c is used twice: by the same-block branch (direct node
+	// reference) and cross-block via its CopyToVReg. Uses must count
+	// both — instruction selection relies on Uses == 1 to fuse a
+	// compare into its branch, and this icmp must NOT be fused (its
+	// value is also taken).
+	for _, b := range fd.Blocks {
+		for _, r := range b.Roots {
+			if r.Op == NBrCond && r.Args[0].Op == NICmp {
+				if r.Args[0].Uses < 2 {
+					t.Errorf("icmp with a value use has Uses = %d, want ≥ 2 (fusion would drop the SETcc)", r.Args[0].Uses)
+				}
+			}
+		}
+	}
+}
