@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# The pipeline runs shards on a worker pool; the race detector is the
+# check that per-shard state really is private.
+race:
+	$(GO) test -race ./...
+
+# Micro-benchmarks for the fuzz-and-validate pipeline (E11): refine.Check
+# memo on/off, enumeration serial vs sharded, campaign throughput.
+bench:
+	$(GO) test -bench 'BenchmarkRefineCheck|BenchmarkExhaustive|BenchmarkCampaign' -benchtime 1x -run '^$$' ./internal/bench/
+
+check: build vet test race

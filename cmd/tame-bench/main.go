@@ -7,6 +7,7 @@
 //	-exp codesize     E6: §7.2 object size + freeze fractions
 //	-exp runtime      E7: §7.2 run time (Figure 6)
 //	-exp ablation     freeze-aware vs freeze-blind optimizations
+//	-exp pipeline     E11: parallel fuzz-and-validate throughput
 //	-exp all          everything
 //
 // E4–E7 share one measurement sweep; the report prints all four
@@ -14,32 +15,40 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"tameir/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: validate, compiletime, memory, codesize, runtime, all")
+	exp := flag.String("exp", "all", "experiment: validate, compiletime, memory, codesize, runtime, ablation, pipeline, all")
 	reps := flag.Int("reps", 3, "compile repetitions for wall-time medians")
 	valInstrs := flag.Int("validate-instrs", 2, "instructions per generated function (E3)")
 	valMax := flag.Int("validate-max", 3000, "max generated functions per pass (E3)")
+	pipeWorkers := flag.String("pipeline-workers", "1,2,4", "comma-separated worker counts (E11)")
+	jsonPath := flag.String("json", "", "also write E11 rows as JSON to this file")
 	flag.Parse()
 
 	wantMeasure := false
 	wantValidate := false
 	wantAblation := false
+	wantPipeline := false
 	switch *exp {
 	case "all":
-		wantMeasure, wantValidate, wantAblation = true, true, true
+		wantMeasure, wantValidate, wantAblation, wantPipeline = true, true, true, true
 	case "validate":
 		wantValidate = true
 	case "compiletime", "memory", "codesize", "runtime":
 		wantMeasure = true
 	case "ablation":
 		wantAblation = true
+	case "pipeline":
+		wantPipeline = true
 	default:
 		fmt.Fprintf(os.Stderr, "tame-bench: unknown experiment %q\n", *exp)
 		os.Exit(1)
@@ -68,6 +77,32 @@ func main() {
 		bench.Report(os.Stdout, base, proto)
 	}
 
+	if wantPipeline {
+		fmt.Println("# E11: parallel fuzz-and-validate pipeline throughput")
+		var rows []bench.PipelineResult
+		// Serial memo-off rows are the baselines the speedups are
+		// against: single-pass -O2, then the five-pass §6 campaign
+		// where the shared memo skips the repeated source derivations.
+		rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, 1, false, false))
+		rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, 1, true, false))
+		rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, 1, false, true))
+		for _, w := range splitInts(*pipeWorkers) {
+			rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, w, true, true))
+		}
+		bench.ReportPipeline(os.Stdout, "fixed passes, -O2, freeze semantics", rows)
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "tame-bench: wrote %s\n", *jsonPath)
+		}
+		fmt.Println()
+	}
+
 	if wantAblation {
 		fmt.Println("\n# Ablation: what the §6 freeze-awareness work buys")
 		proto, err := bench.MeasureAll(bench.Prototype(), *reps)
@@ -80,6 +115,18 @@ func main() {
 		}
 		bench.ReportAblation(os.Stdout, proto, blind)
 	}
+}
+
+func splitInts(s string) []int {
+	var out []int
+	for _, field := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 0 {
+			fatal(fmt.Errorf("bad worker count %q", field))
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 func fatal(err error) {

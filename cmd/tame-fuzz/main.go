@@ -1,13 +1,19 @@
 // tame-fuzz generates IR functions like the paper's opt-fuzz: either
 // exhaustively (straight-line, small bitwidth) or randomly (with
-// control flow).
+// control flow), and optionally pushes every candidate through the
+// full fuzz-and-validate pipeline (optimize, then check refinement).
 //
 // Usage:
 //
 //	tame-fuzz [-mode exhaustive|random] [-instrs N] [-n MAX] [-seed S] [-width W]
+//	tame-fuzz -validate [-passes p1,p2|o2] [-sem legacy|freeze] [-unsound]
+//	          [-workers N] [-no-memo] [-instrs N] [-n MAX] [-width W]
 //
-// Each generated function is printed to stdout, separated by blank
-// lines — pipe into tame-opt or tame-tv.
+// Without -validate each generated function is printed to stdout,
+// separated by blank lines — pipe into tame-opt or tame-tv. With
+// -validate the campaign runs on a worker pool (-workers 0 = one per
+// CPU, 1 = serial) and reports findings plus throughput; the findings
+// are byte-identical for every worker count.
 package main
 
 import (
@@ -15,18 +21,34 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
+	"time"
 
+	"tameir/internal/core"
 	"tameir/internal/ir"
 	"tameir/internal/optfuzz"
+	"tameir/internal/passes"
+	"tameir/internal/refine"
 )
 
 func main() {
 	mode := flag.String("mode", "exhaustive", "exhaustive or random")
 	instrs := flag.Int("instrs", 2, "instructions per function (exhaustive mode)")
-	n := flag.Int("n", 100, "maximum number of functions")
+	n := flag.Int("n", 100, "maximum number of functions (0 = unbounded)")
 	seed := flag.Int64("seed", 1, "random seed (random mode)")
 	width := flag.Uint("width", 2, "integer bitwidth")
+	validate := flag.Bool("validate", false, "optimize and refinement-check every function")
+	passList := flag.String("passes", "o2", "comma-separated passes to validate, or o2")
+	sem := flag.String("sem", "freeze", "semantics: legacy or freeze")
+	unsound := flag.Bool("unsound", false, "use the historical (buggy) pass variants")
+	workers := flag.Int("workers", 1, "worker pool size (0 = one per CPU, 1 = serial)")
+	noMemo := flag.Bool("no-memo", false, "disable the behaviour-set memo cache")
 	flag.Parse()
+
+	if *validate {
+		runCampaign(*instrs, *n, *width, *passList, *sem, *unsound, *workers, *noMemo)
+		return
+	}
 
 	switch *mode {
 	case "exhaustive":
@@ -49,4 +71,85 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tame-fuzz: unknown mode %q\n", *mode)
 		os.Exit(1)
 	}
+}
+
+func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, workers int, noMemo bool) {
+	var opts core.Options
+	pcfg := &passes.Config{}
+	switch sem {
+	case "freeze":
+		opts = core.FreezeOptions()
+		pcfg = passes.DefaultFreezeConfig()
+	case "legacy":
+		opts = core.LegacyOptions(core.BranchPoisonNondet)
+		pcfg = passes.DefaultLegacyConfig()
+		pcfg.Unsound = false
+	default:
+		fatal(fmt.Errorf("unknown semantics %q", sem))
+	}
+	pcfg.Unsound = unsound
+
+	transform := func(f *ir.Func) {
+		m := ir.NewModule()
+		m.AddFunc(f)
+		passes.O2().Run(m, pcfg)
+	}
+	if passList != "o2" && passList != "" {
+		var ps []passes.Pass
+		for _, name := range strings.Split(passList, ",") {
+			p := passes.PassByName(strings.TrimSpace(name))
+			if p == nil {
+				fatal(fmt.Errorf("unknown pass %q", name))
+			}
+			ps = append(ps, p)
+		}
+		transform = func(f *ir.Func) {
+			for _, p := range ps {
+				passes.RunPass(p, f, pcfg)
+			}
+		}
+	}
+
+	gen := optfuzz.DefaultConfig(instrs)
+	gen.Width = width
+	gen.MaxFuncs = n
+	if opts.Mode == core.Freeze {
+		// Undef is not part of the freeze dialect.
+		gen.AllowUndef = false
+		gen.AllowPoison = true
+	}
+
+	memoEntries := 0
+	if noMemo {
+		memoEntries = -1
+	}
+	c := optfuzz.Campaign{
+		Gen:         gen,
+		Refine:      refine.DefaultConfig(opts, opts),
+		Transform:   transform,
+		Workers:     workers,
+		MemoEntries: memoEntries,
+	}
+	start := time.Now()
+	st := c.Run()
+	elapsed := time.Since(start)
+
+	for _, f := range st.Findings {
+		fmt.Printf("REFUTED shard=%d index=%d\n%s\n→\n%s\n%s\n\n",
+			f.Shard, f.Index, f.Src, f.Tgt, f.Result)
+	}
+	perSec := float64(st.Funcs) / elapsed.Seconds()
+	fmt.Fprintf(os.Stderr,
+		"tame-fuzz: %d funcs validated in %s (%.0f funcs/sec, workers=%d): %d verified, %d refuted, %d inconclusive; memo %d/%d hits (%.1f%%)\n",
+		st.Funcs, elapsed.Round(time.Millisecond), perSec, workers,
+		st.Verified, st.Refuted, st.Inconclusive,
+		st.MemoHits, st.MemoLookups, 100*st.HitRate())
+	if st.Refuted > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tame-fuzz:", err)
+	os.Exit(1)
 }

@@ -6,7 +6,10 @@
 //	tame-tv [-sem legacy|freeze] src.ll tgt.ll      validate a pair
 //	tame-tv [-sem ...] -pass gvn[,p2...] file.ll    run passes, validate
 //
-// Functions are matched by name. Exit status 1 on any refuted pair.
+// Functions are matched by name and validated on a worker pool
+// (-workers 0 = one per CPU, 1 = serial); reports are printed in input
+// order regardless of the worker count. Exit status 1 on any refuted
+// pair.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 
 	"tameir/internal/core"
 	"tameir/internal/ir"
+	"tameir/internal/parallel"
 	"tameir/internal/passes"
 	"tameir/internal/refine"
 )
@@ -25,6 +29,7 @@ func main() {
 	sem := flag.String("sem", "freeze", "semantics: legacy or freeze")
 	passList := flag.String("pass", "", "run these passes on the input and validate the result")
 	unsound := flag.Bool("unsound", false, "use the historical pass variants")
+	workers := flag.Int("workers", 1, "worker pool size (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	var opts core.Options
@@ -38,43 +43,69 @@ func main() {
 	}
 	rcfg := refine.DefaultConfig(opts, opts)
 
-	anyRefuted := false
-	report := func(name string, r refine.Result) {
-		fmt.Printf("@%s: %s\n", name, r)
-		if r.Status == refine.Refuted {
-			anyRefuted = true
-		}
+	// check runs one src→tgt validation with worker-private checker
+	// state. Each call gets its own oracle so concurrent checks never
+	// share enumeration storage.
+	check := func(src, tgt *ir.Func) refine.Result {
+		cfg := rcfg
+		cfg.Oracle = core.NewEnumOracle(cfg.MaxChoices, cfg.MaxFanout)
+		return refine.Check(src, tgt, cfg)
 	}
 
+	type report struct {
+		name string
+		res  refine.Result
+	}
+
+	var reports []report
 	if *passList != "" {
 		if flag.NArg() != 1 {
 			fatal(fmt.Errorf("usage: tame-tv -pass p1,p2 file.ll"))
 		}
+		var ps []passes.Pass
+		for _, name := range strings.Split(*passList, ",") {
+			p := passes.PassByName(strings.TrimSpace(name))
+			if p == nil {
+				fatal(fmt.Errorf("unknown pass %q", name))
+			}
+			ps = append(ps, p)
+		}
 		mod := parse(flag.Arg(0))
 		cfg := &passes.Config{Sem: opts, Unsound: *unsound, FreezeAware: true}
-		for _, f := range mod.Funcs {
-			orig := ir.CloneFunc(f)
-			for _, name := range strings.Split(*passList, ",") {
-				p := passes.PassByName(strings.TrimSpace(name))
-				if p == nil {
-					fatal(fmt.Errorf("unknown pass %q", name))
-				}
-				passes.RunPass(p, f, cfg)
+		reports = parallel.Map(*workers, len(mod.Funcs), func(i int) report {
+			f := mod.Funcs[i]
+			// The module is shared across workers: transform a private
+			// clone, leave the parsed function untouched.
+			work := ir.CloneFunc(f)
+			for _, p := range ps {
+				passes.RunPass(p, work, cfg)
 			}
-			report(f.Name(), refine.Check(orig, f, rcfg))
-		}
+			return report{f.Name(), check(f, work)}
+		})
 	} else {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("usage: tame-tv src.ll tgt.ll"))
 		}
 		srcMod := parse(flag.Arg(0))
 		tgtMod := parse(flag.Arg(1))
+		pairs := make([][2]*ir.Func, 0, len(srcMod.Funcs))
 		for _, sf := range srcMod.Funcs {
 			tf := tgtMod.FuncByName(sf.Name())
 			if tf == nil {
 				fatal(fmt.Errorf("target module lacks @%s", sf.Name()))
 			}
-			report(sf.Name(), refine.Check(sf, tf, rcfg))
+			pairs = append(pairs, [2]*ir.Func{sf, tf})
+		}
+		reports = parallel.Map(*workers, len(pairs), func(i int) report {
+			return report{pairs[i][0].Name(), check(pairs[i][0], pairs[i][1])}
+		})
+	}
+
+	anyRefuted := false
+	for _, r := range reports {
+		fmt.Printf("@%s: %s\n", r.name, r.res)
+		if r.res.Status == refine.Refuted {
+			anyRefuted = true
 		}
 	}
 	if anyRefuted {

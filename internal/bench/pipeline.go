@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+	"tameir/internal/optfuzz"
+	"tameir/internal/passes"
+	"tameir/internal/refine"
+)
+
+// PipelineResult is one row of the E11 throughput experiment: a §6
+// validation campaign run on the sharded worker pool. Checks counts
+// (candidate, pass) validations — for a multi-pass campaign that is
+// Passes×Funcs, and checks/sec is the throughput number that makes
+// rows with different pass counts comparable.
+type PipelineResult struct {
+	Workers      int
+	Memo         bool
+	Passes       int
+	Funcs        int
+	Checks       int
+	Refuted      int
+	Elapsed      time.Duration
+	ChecksPerSec float64
+	MemoHits     uint64
+	MemoLookups  uint64
+	HitRate      float64 // in [0, 1]
+}
+
+// pipelineCampaign builds the §6 validation campaign: -O2 alone, or
+// all five validation passes (multiPass) sharing each shard's memo.
+func pipelineCampaign(fixed bool, numInstrs, maxFuncs, workers int, memo, multiPass bool) optfuzz.Campaign {
+	var sem core.Options
+	var pcfg *passes.Config
+	gen := optfuzz.DefaultConfig(numInstrs)
+	gen.EnumAttrs = true
+	if fixed {
+		sem = core.FreezeOptions()
+		pcfg = passes.DefaultFreezeConfig()
+		gen.AllowUndef = false
+		gen.AllowPoison = true
+	} else {
+		sem = core.LegacyOptions(core.BranchPoisonNondet)
+		pcfg = passes.DefaultLegacyConfig()
+		gen.AllowUndef = true
+	}
+	gen.MaxFuncs = maxFuncs
+	memoEntries := 0
+	if !memo {
+		memoEntries = -1
+	}
+	c := optfuzz.Campaign{
+		Gen:         gen,
+		Refine:      refine.DefaultConfig(sem, sem),
+		Workers:     workers,
+		MemoEntries: memoEntries,
+	}
+	if multiPass {
+		for _, vp := range validationPasses() {
+			run := vp.run
+			c.Transforms = append(c.Transforms, optfuzz.NamedTransform{
+				Name: vp.name,
+				Fn:   func(f *ir.Func) { run(f, pcfg) },
+			})
+		}
+	} else {
+		c.Transform = func(f *ir.Func) {
+			m := ir.NewModule()
+			m.AddFunc(f)
+			passes.O2().Run(m, pcfg)
+		}
+	}
+	return c
+}
+
+// MeasurePipeline times one campaign configuration and reports
+// validation throughput and memo effectiveness.
+func MeasurePipeline(fixed bool, numInstrs, maxFuncs, workers int, memo, multiPass bool) PipelineResult {
+	c := pipelineCampaign(fixed, numInstrs, maxFuncs, workers, memo, multiPass)
+	npasses := 1
+	if multiPass {
+		npasses = len(c.Transforms)
+	}
+	start := time.Now()
+	st := c.Run()
+	elapsed := time.Since(start)
+	checks := st.Verified + st.Refuted + st.Inconclusive
+	return PipelineResult{
+		Workers:      workers,
+		Memo:         memo,
+		Passes:       npasses,
+		Funcs:        st.Funcs,
+		Checks:       checks,
+		Refuted:      st.Refuted,
+		Elapsed:      elapsed,
+		ChecksPerSec: float64(checks) / elapsed.Seconds(),
+		MemoHits:     st.MemoHits,
+		MemoLookups:  st.MemoLookups,
+		HitRate:      st.HitRate(),
+	}
+}
+
+// ReportPipeline renders the E11 table.
+func ReportPipeline(w io.Writer, title string, rows []PipelineResult) {
+	fmt.Fprintf(w, "== E11: pipeline throughput (%s) ==\n", title)
+	fmt.Fprintf(w, "%8s %5s %7s %8s %8s %10s %11s %9s\n",
+		"workers", "memo", "passes", "funcs", "checks", "elapsed", "checks/sec", "hit-rate")
+	for _, r := range rows {
+		memo := "off"
+		if r.Memo {
+			memo = "on"
+		}
+		fmt.Fprintf(w, "%8d %5s %7d %8d %8d %10s %11.0f %8.1f%%\n",
+			r.Workers, memo, r.Passes, r.Funcs, r.Checks,
+			r.Elapsed.Round(time.Millisecond), r.ChecksPerSec, 100*r.HitRate)
+	}
+}

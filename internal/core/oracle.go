@@ -72,6 +72,19 @@ func NewEnumOracle(maxChoices int, maxFanout uint64) *EnumOracle {
 // Reset rewinds the oracle to replay mode for the next execution.
 func (o *EnumOracle) Reset() { o.pos = 0 }
 
+// Clear reinitializes the oracle for a fresh enumeration with the
+// given bounds, reusing the recorded-path storage. It lets a worker
+// keep one oracle for an entire campaign instead of allocating one per
+// behaviour set.
+func (o *EnumOracle) Clear(maxChoices int, maxFanout uint64) {
+	o.path = o.path[:0]
+	o.limits = o.limits[:0]
+	o.pos = 0
+	o.Overflowed = false
+	o.MaxChoices = maxChoices
+	o.MaxFanout = maxFanout
+}
+
 // Choose implements Oracle.
 func (o *EnumOracle) Choose(n uint64) uint64 {
 	if n > o.MaxFanout {

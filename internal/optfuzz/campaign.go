@@ -1,0 +1,235 @@
+package optfuzz
+
+import (
+	"tameir/internal/core"
+	"tameir/internal/ir"
+	"tameir/internal/parallel"
+	"tameir/internal/refine"
+)
+
+// Campaign is one fuzz-and-validate run, the paper's §6 experiment as
+// a pipeline: exhaustively enumerate the generator space, transform
+// every candidate, and decide refinement of each transformation.
+//
+// The enumeration space is split into NumShards(Gen) disjoint shards
+// (one per first-instruction template); a bounded worker pool runs the
+// shards concurrently, each worker with its own generator state,
+// enumeration oracle, interpreter state, and behaviour-set memo — no
+// mutable state is shared, and results are merged in shard order. A
+// campaign's outcome is therefore byte-identical for every worker
+// count, including Workers=1, which runs inline with no goroutines.
+type Campaign struct {
+	// Gen bounds the generator. Gen.MaxFuncs is a campaign-wide budget
+	// split deterministically across shards (by shard index, not by
+	// worker), so the checked candidate set does not depend on the
+	// worker count.
+	Gen Config
+
+	// Refine configures the checker. Its Memo and Oracle fields are
+	// ignored: each shard gets private ones.
+	Refine refine.Config
+
+	// Transform mutates a candidate in place; the campaign validates
+	// original → transformed. The candidate passed in is already a
+	// private clone. A nil Transform checks self-refinement.
+	Transform func(*ir.Func)
+
+	// Transforms, when non-empty, overrides Transform: every candidate
+	// is validated against each named transform in order, §6-style
+	// ("both individual passes and -O2"). The passes share the shard's
+	// memo, so each candidate's source behaviour sets are derived once
+	// and looked up for every subsequent pass — this is where
+	// memoization pays, since an exhaustive generator never repeats a
+	// source within one pass.
+	Transforms []NamedTransform
+
+	// Workers bounds pool concurrency; 0 means one per CPU, 1 is
+	// serial.
+	Workers int
+
+	// MemoEntries bounds each shard's behaviour-set memo. 0 means
+	// refine.DefaultMemoEntries; negative disables memoization.
+	MemoEntries int
+}
+
+// NamedTransform is one pass (or pipeline) under validation.
+type NamedTransform struct {
+	Name string
+	Fn   func(*ir.Func)
+}
+
+// Finding is one refuted transformation.
+type Finding struct {
+	// Shard and Index locate the candidate deterministically: Index is
+	// its position within the shard's enumeration order.
+	Shard, Index int
+	// Pass names the refuted transform (empty for a bare Transform).
+	Pass string
+	// Src and Tgt are the printed functions.
+	Src, Tgt string
+	// Result carries the counterexample.
+	Result refine.Result
+}
+
+// PassTally is one pass's slice of a multi-pass campaign.
+type PassTally struct {
+	Pass         string
+	Funcs        int
+	Verified     int
+	Refuted      int
+	Inconclusive int
+}
+
+// Stats aggregates a campaign. Funcs counts candidate functions once
+// each; the verdict counters count (candidate, pass) validations, so
+// with N transforms they sum to N×Funcs.
+type Stats struct {
+	Funcs        int
+	Verified     int
+	Refuted      int
+	Inconclusive int
+	Truncated    bool
+
+	// Passes tallies per transform, in Transforms order (absent for a
+	// bare Transform campaign).
+	Passes []PassTally
+
+	// Findings lists every refuted candidate in deterministic
+	// (shard, index, pass) order.
+	Findings []Finding
+
+	// MemoHits / MemoLookups aggregate the per-shard memo counters.
+	MemoHits    uint64
+	MemoLookups uint64
+}
+
+// HitRate returns the memo hit fraction in [0, 1].
+func (s Stats) HitRate() float64 {
+	if s.MemoLookups == 0 {
+		return 0
+	}
+	return float64(s.MemoHits) / float64(s.MemoLookups)
+}
+
+// shardBudgets splits a campaign-wide MaxFuncs over shards:
+// shard i receives total/shards plus one of the remainder's units.
+// The split depends only on the shard count, never on the worker
+// count. A zero total means unbounded and yields all zeros.
+func shardBudgets(total, shards int) []int {
+	out := make([]int, shards)
+	if total <= 0 {
+		return out
+	}
+	base, rem := total/shards, total%shards
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Run executes the campaign and returns the merged, deterministic
+// result.
+func (c Campaign) Run() Stats {
+	shards := NumShards(c.Gen)
+	budgets := shardBudgets(c.Gen.MaxFuncs, shards)
+
+	type shardStats struct {
+		Stats
+	}
+	results := parallel.Map(c.Workers, shards, func(s int) shardStats {
+		gen := c.Gen
+		gen.MaxFuncs = budgets[s]
+		if c.Gen.MaxFuncs > 0 && budgets[s] == 0 {
+			return shardStats{} // budget exhausted before this shard
+		}
+		rcfg := c.Refine
+		rcfg.Oracle = core.NewEnumOracle(rcfg.MaxChoices, rcfg.MaxFanout)
+		if c.MemoEntries >= 0 {
+			rcfg.Memo = refine.NewMemo(c.MemoEntries)
+		} else {
+			rcfg.Memo = nil
+		}
+
+		transforms := c.Transforms
+		if len(transforms) == 0 {
+			transforms = []NamedTransform{{Fn: c.Transform}}
+		}
+
+		var st shardStats
+		var scratch PassTally // tally sink for single-transform campaigns
+		if len(c.Transforms) > 0 {
+			st.Passes = make([]PassTally, len(transforms))
+			for i, tr := range transforms {
+				st.Passes[i].Pass = tr.Name
+			}
+		}
+		idx := 0
+		_, truncated := ExhaustiveShard(gen, s, func(f *ir.Func) bool {
+			st.Funcs++
+			for ti, tr := range transforms {
+				work := ir.CloneFunc(f)
+				if tr.Fn != nil {
+					tr.Fn(work)
+				}
+				r := refine.Check(f, work, rcfg)
+				tally := &scratch
+				if st.Passes != nil {
+					tally = &st.Passes[ti]
+				}
+				tally.Funcs++
+				switch r.Status {
+				case refine.Verified:
+					st.Verified++
+					tally.Verified++
+				case refine.Refuted:
+					st.Refuted++
+					tally.Refuted++
+					st.Findings = append(st.Findings, Finding{
+						Shard: s, Index: idx, Pass: tr.Name,
+						Src: f.String(), Tgt: work.String(),
+						Result: r,
+					})
+				default:
+					st.Inconclusive++
+					tally.Inconclusive++
+				}
+			}
+			idx++
+			return true
+		})
+		st.Truncated = truncated
+		if rcfg.Memo != nil {
+			st.MemoHits = rcfg.Memo.Hits()
+			st.MemoLookups = rcfg.Memo.Lookups()
+		}
+		return st
+	})
+
+	var out Stats
+	if len(c.Transforms) > 0 {
+		out.Passes = make([]PassTally, len(c.Transforms))
+		for i, tr := range c.Transforms {
+			out.Passes[i].Pass = tr.Name
+		}
+	}
+	for _, r := range results {
+		out.Funcs += r.Funcs
+		out.Verified += r.Verified
+		out.Refuted += r.Refuted
+		out.Inconclusive += r.Inconclusive
+		out.Truncated = out.Truncated || r.Truncated
+		out.Findings = append(out.Findings, r.Findings...)
+		out.MemoHits += r.MemoHits
+		out.MemoLookups += r.MemoLookups
+		for i, p := range r.Passes {
+			out.Passes[i].Funcs += p.Funcs
+			out.Passes[i].Verified += p.Verified
+			out.Passes[i].Refuted += p.Refuted
+			out.Passes[i].Inconclusive += p.Inconclusive
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package optfuzz
+
+import (
+	"reflect"
+	"testing"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+	"tameir/internal/passes"
+	"tameir/internal/refine"
+)
+
+// TestShardsPartitionEnumeration proves the sharding invariant the
+// whole pipeline rests on: concatenating ExhaustiveShard output in
+// shard order reproduces Exhaustive output exactly — same functions,
+// same order, same count.
+func TestShardsPartitionEnumeration(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.AllowPoison = true
+	// A representative opcode menu keeps the space small enough for
+	// -race while still exercising multi-template shard advance: a
+	// plain binop, an attribute-carrying one, icmp (bool-typed, all
+	// predicates), select (3 operands), and freeze (1 operand).
+	cfg.Opcodes = []ir.Op{ir.OpAdd, ir.OpUDiv, ir.OpICmp, ir.OpSelect, ir.OpFreeze}
+	cfg.EnumAttrs = true
+	cfg.NumParams = 1
+
+	var serial []string
+	serialCount, serialTrunc := Exhaustive(cfg, func(f *ir.Func) bool {
+		serial = append(serial, f.String())
+		return true
+	})
+	if serialTrunc {
+		t.Fatal("serial enumeration truncated unexpectedly")
+	}
+
+	var sharded []string
+	total := 0
+	for s := 0; s < NumShards(cfg); s++ {
+		n, trunc := ExhaustiveShard(cfg, s, func(f *ir.Func) bool {
+			sharded = append(sharded, f.String())
+			return true
+		})
+		if trunc {
+			t.Fatalf("shard %d truncated unexpectedly", s)
+		}
+		total += n
+	}
+
+	if total != serialCount {
+		t.Fatalf("shards yield %d funcs, serial yields %d", total, serialCount)
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		for i := range serial {
+			if i >= len(sharded) || serial[i] != sharded[i] {
+				t.Fatalf("divergence at index %d:\nserial:\n%s\nsharded:\n%s",
+					i, serial[i], sharded[i])
+			}
+		}
+		t.Fatalf("sharded enumeration longer than serial: %d > %d", len(sharded), len(serial))
+	}
+}
+
+// TestShardBudgets checks the deterministic MaxFuncs split.
+func TestShardBudgets(t *testing.T) {
+	got := shardBudgets(10, 4)
+	want := []int{3, 3, 2, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("shardBudgets(10, 4) = %v, want %v", got, want)
+	}
+	if got := shardBudgets(0, 4); !reflect.DeepEqual(got, []int{0, 0, 0, 0}) {
+		t.Errorf("shardBudgets(0, 4) = %v, want all zero", got)
+	}
+	sum := 0
+	for _, b := range shardBudgets(17, 5) {
+		sum += b
+	}
+	if sum != 17 {
+		t.Errorf("shardBudgets(17, 5) sums to %d", sum)
+	}
+}
+
+func o2Campaign(sem core.Options, pcfg *passes.Config, workers, memoEntries int) Campaign {
+	gen := DefaultConfig(2)
+	gen.AllowUndef = false
+	gen.AllowPoison = true
+	gen.MaxFuncs = 600
+	return Campaign{
+		Gen:    gen,
+		Refine: refine.DefaultConfig(sem, sem),
+		Transform: func(f *ir.Func) {
+			m := ir.NewModule()
+			m.AddFunc(f)
+			passes.O2().Run(m, pcfg)
+		},
+		Workers:     workers,
+		MemoEntries: memoEntries,
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers is the tentpole guarantee: a
+// parallel campaign reports the same stats and the same findings, in
+// the same order, as a serial one.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	sem := core.FreezeOptions()
+	base := o2Campaign(sem, passes.DefaultFreezeConfig(), 1, 0)
+	ref := base.Run()
+	if ref.Funcs == 0 {
+		t.Fatal("campaign validated no functions")
+	}
+
+	for _, workers := range []int{2, 8} {
+		c := base
+		c.Workers = workers
+		got := c.Run()
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d diverges from serial:\nserial:  %+v\nparallel: %+v",
+				workers, summarize(ref), summarize(got))
+		}
+	}
+}
+
+func summarize(s Stats) Stats {
+	s.Findings = nil // keep failure output readable; DeepEqual already compared them
+	return s
+}
+
+// TestCampaignMemoInvariant: enabling or disabling the memo must not
+// change any verdict or finding, only the hit counters.
+func TestCampaignMemoInvariant(t *testing.T) {
+	sem := core.LegacyOptions(core.BranchPoisonNondet)
+	pcfg := passes.DefaultLegacyConfig()
+	pcfg.Unsound = true
+
+	with := o2Campaign(sem, pcfg, 1, 0).Run()
+	without := o2Campaign(sem, pcfg, 1, -1).Run()
+
+	if without.MemoLookups != 0 {
+		t.Errorf("memo disabled but %d lookups recorded", without.MemoLookups)
+	}
+	if with.MemoLookups == 0 {
+		t.Errorf("memo enabled but no lookups recorded")
+	}
+	with.MemoHits, with.MemoLookups = 0, 0
+	without.MemoHits, without.MemoLookups = 0, 0
+	if !reflect.DeepEqual(with, without) {
+		t.Errorf("memo changed campaign outcome:\nwith:    %+v\nwithout: %+v",
+			summarize(with), summarize(without))
+	}
+}
+
+// TestCampaignCatchesUnsoundPipeline reproduces the paper's result in
+// miniature: the historical (pre-freeze) pass variants miscompile some
+// function in the enumerated space, and the campaign finds it.
+func TestCampaignCatchesUnsoundPipeline(t *testing.T) {
+	sem := core.LegacyOptions(core.BranchPoisonNondet)
+	pcfg := passes.DefaultLegacyConfig()
+	pcfg.Unsound = true
+	gen := DefaultConfig(2)
+	gen.MaxFuncs = 2000
+	c := Campaign{
+		Gen:    gen,
+		Refine: refine.DefaultConfig(sem, sem),
+		Transform: func(f *ir.Func) {
+			m := ir.NewModule()
+			m.AddFunc(f)
+			passes.O2().Run(m, pcfg)
+		},
+		Workers: 4,
+	}
+	st := c.Run()
+	if st.Refuted == 0 {
+		t.Fatal("unsound pipeline produced no refuted findings")
+	}
+	for _, f := range st.Findings {
+		if f.Src == "" || f.Tgt == "" || f.Result.Status != refine.Refuted {
+			t.Errorf("malformed finding: %+v", f)
+		}
+	}
+}
+
+// TestCampaignNilTransform checks the self-refinement fast path: every
+// function refines itself, so a transform-free campaign must verify
+// everything it can decide.
+func TestCampaignNilTransform(t *testing.T) {
+	gen := DefaultConfig(1)
+	gen.AllowUndef = false // undef is not part of the freeze dialect
+	gen.AllowPoison = true
+	gen.MaxFuncs = 0 // unbounded: cover the whole 1-instruction space
+	want, _ := Exhaustive(gen, func(*ir.Func) bool { return true })
+	c := Campaign{
+		Gen:    gen,
+		Refine: refine.DefaultConfig(core.FreezeOptions(), core.FreezeOptions()),
+	}
+	st := c.Run()
+	if st.Refuted != 0 {
+		t.Fatalf("self-refinement refuted %d functions", st.Refuted)
+	}
+	if st.Funcs != want {
+		t.Fatalf("validated %d funcs, want the full space of %d", st.Funcs, want)
+	}
+}

@@ -97,162 +97,249 @@ func (c Config) templates() []instrTemplate {
 	return ts
 }
 
+// NumShards returns how many disjoint shards ExhaustiveShard splits
+// the cfg's enumeration space into: one per choice of the first
+// instruction's template. Concatenating the shards in index order
+// yields exactly the sequence Exhaustive produces, which is what makes
+// a parallel campaign a pure reordering of the serial one.
+func NumShards(cfg Config) int {
+	if cfg.NumInstrs <= 0 {
+		return 1
+	}
+	return len(cfg.templates())
+}
+
 // Exhaustive enumerates every function of the configured shape and
 // calls emit for each. emit returning false stops enumeration early.
 // It returns the number of functions generated and whether the
 // enumeration was truncated (by MaxFuncs or emit).
 func Exhaustive(cfg Config, emit func(*ir.Func) bool) (int, bool) {
-	ty := ir.Int(cfg.Width)
-	ts := cfg.templates()
+	return exhaustive(cfg, -1, emit)
+}
+
+// ExhaustiveShard enumerates only the slice of the space whose first
+// instruction uses template index shard (0 ≤ shard < NumShards(cfg)).
+// Shards are disjoint, cover the space, and share no mutable state, so
+// distinct shards may be enumerated concurrently from different
+// goroutines. MaxFuncs applies to this shard alone.
+func ExhaustiveShard(cfg Config, shard int, emit func(*ir.Func) bool) (int, bool) {
+	return exhaustive(cfg, shard, emit)
+}
+
+// enumerator carries the per-shard enumeration state. The constant
+// leaves are allocated once and shared across every generated function
+// (constants carry no use lists, so sharing is safe); the pool slices
+// and name tables are reused across functions to keep the inner loop
+// allocation-free apart from the IR nodes the caller receives.
+type enumerator struct {
+	cfg Config
+	ty  ir.Type
+	ts  []instrTemplate
+
+	tmpl   []int // template index per instruction
+	digits []int // flattened operand digits, instruction-major
+	bounds []int // exact pool size for each digit
+	digOff []int // first digit of each instruction
+
+	consts []ir.Value // shared wide constant leaves (consts, undef, poison)
+	boolsT [2]ir.Value
+
+	wide  []ir.Value // scratch pools, rebuilt per function
+	bools []ir.Value
+
+	pNames []string
+	vNames []string
+}
+
+func newEnumerator(cfg Config) *enumerator {
+	e := &enumerator{
+		cfg:    cfg,
+		ty:     ir.Int(cfg.Width),
+		ts:     cfg.templates(),
+		tmpl:   make([]int, cfg.NumInstrs),
+		digOff: make([]int, cfg.NumInstrs+1),
+		pNames: make([]string, cfg.NumParams),
+		vNames: make([]string, cfg.NumInstrs),
+	}
+	for v := uint64(0); v < 1<<cfg.Width; v++ {
+		e.consts = append(e.consts, ir.ConstInt(e.ty, v))
+	}
+	if cfg.AllowUndef {
+		e.consts = append(e.consts, ir.NewUndef(e.ty))
+	}
+	if cfg.AllowPoison {
+		e.consts = append(e.consts, ir.NewPoison(e.ty))
+	}
+	e.boolsT = [2]ir.Value{ir.ConstBool(false), ir.ConstBool(true)}
+	for i := range e.pNames {
+		e.pNames[i] = fmt.Sprintf("p%d", i)
+	}
+	for i := range e.vNames {
+		e.vNames[i] = fmt.Sprintf("v%d", i)
+	}
+	return e
+}
+
+// arity returns the operand count of a template.
+func arity(tm instrTemplate) int {
+	if tm.op == ir.OpSelect {
+		return 3
+	}
+	if tm.op == ir.OpFreeze {
+		return 1
+	}
+	return 2 // binop or icmp
+}
+
+// prepare recomputes the operand digit layout and exact bounds for the
+// current template tuple, and reports whether the tuple can produce a
+// function at all (some instruction must have the wide result type —
+// the return value).
+func (e *enumerator) prepare() bool {
+	e.digits = e.digits[:0]
+	e.bounds = e.bounds[:0]
+	nWide := e.cfg.NumParams + len(e.consts)
+	nBool := 2
+	anyWide := false
+	for i := 0; i < e.cfg.NumInstrs; i++ {
+		tm := e.ts[e.tmpl[i]]
+		e.digOff[i] = len(e.digits)
+		if tm.op == ir.OpSelect {
+			e.digits = append(e.digits, 0, 0, 0)
+			e.bounds = append(e.bounds, nBool, nWide, nWide)
+		} else if tm.op == ir.OpFreeze {
+			e.digits = append(e.digits, 0)
+			e.bounds = append(e.bounds, nWide)
+		} else {
+			e.digits = append(e.digits, 0, 0)
+			e.bounds = append(e.bounds, nWide, nWide)
+		}
+		if tm.op == ir.OpICmp {
+			nBool++
+		} else {
+			nWide++
+			anyWide = true
+		}
+	}
+	e.digOff[e.cfg.NumInstrs] = len(e.digits)
+	return anyWide
+}
+
+// build materializes the function for the current digit state. The
+// state is valid by construction (bounds are exact), so build never
+// fails.
+func (e *enumerator) build() *ir.Func {
+	params := make([]*ir.Param, e.cfg.NumParams)
+	for i := range params {
+		params[i] = ir.NewParam(e.pNames[i], e.ty)
+	}
+	f := ir.NewFunc("fz", e.ty, params...)
+	bb := f.NewBlock("entry")
+
+	e.wide = e.wide[:0]
+	for _, p := range params {
+		e.wide = append(e.wide, p)
+	}
+	e.wide = append(e.wide, e.consts...)
+	e.bools = append(e.bools[:0], e.boolsT[0], e.boolsT[1])
+
+	var lastVal ir.Value
+	var args [3]ir.Value
+	for i := 0; i < e.cfg.NumInstrs; i++ {
+		tm := e.ts[e.tmpl[i]]
+		d := e.digits[e.digOff[i]:e.digOff[i+1]]
+		var in *ir.Instr
+		switch {
+		case tm.op == ir.OpSelect:
+			args[0], args[1], args[2] = e.bools[d[0]], e.wide[d[1]], e.wide[d[2]]
+			in = ir.NewInstr(ir.OpSelect, e.ty, args[:3]...)
+		case tm.op == ir.OpFreeze:
+			args[0] = e.wide[d[0]]
+			in = ir.NewInstr(ir.OpFreeze, e.ty, args[:1]...)
+		case tm.op == ir.OpICmp:
+			args[0], args[1] = e.wide[d[0]], e.wide[d[1]]
+			in = ir.NewInstr(ir.OpICmp, ir.I1, args[:2]...)
+			in.Pred = tm.pred
+		default:
+			args[0], args[1] = e.wide[d[0]], e.wide[d[1]]
+			in = ir.NewInstr(tm.op, e.ty, args[:2]...)
+			in.Attrs = tm.attrs
+		}
+		in.Nam = e.vNames[i]
+		bb.Append(in)
+		if in.Ty.Equal(e.ty) {
+			e.wide = append(e.wide, in)
+			lastVal = in
+		} else {
+			e.bools = append(e.bools, in)
+		}
+	}
+	bb.Append(ir.NewInstr(ir.OpRet, ir.Void, lastVal))
+	return f
+}
+
+// advanceDigits steps the operand odometer (rightmost digit fastest)
+// within the exact bounds; false means the tuple's operand space is
+// exhausted.
+func (e *enumerator) advanceDigits() bool {
+	for i := len(e.digits) - 1; i >= 0; i-- {
+		e.digits[i]++
+		if e.digits[i] < e.bounds[i] {
+			return true
+		}
+		e.digits[i] = 0
+	}
+	return false
+}
+
+// advanceTemplates steps the template odometer. When firstFixed, the
+// first instruction's template is pinned (shard enumeration) and only
+// the lower digits advance.
+func (e *enumerator) advanceTemplates(firstFixed bool) bool {
+	lo := 0
+	if firstFixed {
+		lo = 1
+	}
+	for i := e.cfg.NumInstrs - 1; i >= lo; i-- {
+		e.tmpl[i]++
+		if e.tmpl[i] < len(e.ts) {
+			return true
+		}
+		e.tmpl[i] = 0
+	}
+	return false
+}
+
+// exhaustive drives the enumeration; shard < 0 means the whole space.
+func exhaustive(cfg Config, shard int, emit func(*ir.Func) bool) (int, bool) {
+	if cfg.NumInstrs <= 0 {
+		return 0, false
+	}
+	e := newEnumerator(cfg)
+	if shard >= len(e.ts) {
+		return 0, false
+	}
+	if shard >= 0 {
+		e.tmpl[0] = shard
+	}
 	count := 0
-	truncated := false
-
-	// choices[i] is the flattened decision for instruction i:
-	// template index and operand indices, encoded positionally and
-	// advanced like an odometer. Operand candidate lists depend on the
-	// types of earlier instructions, so we re-derive them per state.
-	type state struct {
-		tmpl []int
-		ops  [][]int
-	}
-	st := state{tmpl: make([]int, cfg.NumInstrs), ops: make([][]int, cfg.NumInstrs)}
-
-	// buildFunc materializes the current odometer state, or returns
-	// nil if the state is ill-typed (e.g. select with no i1 available).
-	buildFunc := func() *ir.Func {
-		params := make([]*ir.Param, cfg.NumParams)
-		for i := range params {
-			params[i] = ir.NewParam(fmt.Sprintf("p%d", i), ty)
-		}
-		f := ir.NewFunc("fz", ty, params...)
-		bb := f.NewBlock("entry")
-
-		// Value pools by kind.
-		wide := make([]ir.Value, 0, 8)
-		for _, p := range params {
-			wide = append(wide, p)
-		}
-		for v := uint64(0); v < 1<<cfg.Width; v++ {
-			wide = append(wide, ir.ConstInt(ty, v))
-		}
-		if cfg.AllowUndef {
-			wide = append(wide, ir.NewUndef(ty))
-		}
-		if cfg.AllowPoison {
-			wide = append(wide, ir.NewPoison(ty))
-		}
-		bools := []ir.Value{ir.ConstBool(false), ir.ConstBool(true)}
-
-		var lastVal ir.Value
-		for i := 0; i < cfg.NumInstrs; i++ {
-			if st.tmpl[i] >= len(ts) {
-				return nil
-			}
-			tm := ts[st.tmpl[i]]
-			// Determine operand candidate pools.
-			var pools [][]ir.Value
-			switch {
-			case tm.op.IsBinop(), tm.op == ir.OpICmp:
-				pools = [][]ir.Value{wide, wide}
-			case tm.op == ir.OpSelect:
-				pools = [][]ir.Value{bools, wide, wide}
-			case tm.op == ir.OpFreeze:
-				pools = [][]ir.Value{wide}
-			default:
-				return nil
-			}
-			if st.ops[i] == nil {
-				st.ops[i] = make([]int, len(pools))
-			}
-			if len(st.ops[i]) != len(pools) {
-				return nil
-			}
-			args := make([]ir.Value, len(pools))
-			for j, pool := range pools {
-				if st.ops[i][j] >= len(pool) {
-					return nil
-				}
-				args[j] = pool[st.ops[i][j]]
-			}
-			var in *ir.Instr
-			switch {
-			case tm.op.IsBinop():
-				in = ir.NewInstr(tm.op, ty, args...)
-				in.Attrs = tm.attrs
-			case tm.op == ir.OpICmp:
-				in = ir.NewInstr(ir.OpICmp, ir.I1, args...)
-				in.Pred = tm.pred
-			case tm.op == ir.OpSelect:
-				in = ir.NewInstr(ir.OpSelect, ty, args...)
-			case tm.op == ir.OpFreeze:
-				in = ir.NewInstr(ir.OpFreeze, ty, args...)
-			}
-			in.Nam = fmt.Sprintf("v%d", i)
-			bb.Append(in)
-			if in.Ty.Equal(ty) {
-				wide = append(wide, in)
-				lastVal = in
-			} else {
-				bools = append(bools, in)
-			}
-		}
-		if lastVal == nil {
-			return nil
-		}
-		ret := ir.NewInstr(ir.OpRet, ir.Void, lastVal)
-		bb.Append(ret)
-		return f
-	}
-
-	// advance increments the odometer. Pool sizes are position- and
-	// template-dependent; we bound operand digits by a safe maximum
-	// and let buildFunc reject overshoot... simpler: advance template
-	// digits outermost, rebuilding operand digit bounds each time by
-	// attempting the build.
-	maxPool := cfg.NumParams + (1 << cfg.Width) + 2 + cfg.NumInstrs
-	advance := func() bool {
-		// Operand digits first (innermost).
-		for i := cfg.NumInstrs - 1; i >= 0; i-- {
-			for j := len(st.ops[i]) - 1; j >= 0; j-- {
-				st.ops[i][j]++
-				if st.ops[i][j] < maxPool {
-					return true
-				}
-				st.ops[i][j] = 0
-			}
-		}
-		// Then template digits.
-		for i := cfg.NumInstrs - 1; i >= 0; i-- {
-			st.tmpl[i]++
-			// Template change invalidates operand digit shapes.
-			for k := 0; k <= i; k++ {
-				st.ops[k] = nil
-			}
-			for k := i + 1; k < cfg.NumInstrs; k++ {
-				st.tmpl[k] = 0
-				st.ops[k] = nil
-			}
-			if st.tmpl[i] < len(ts) {
-				return true
-			}
-			st.tmpl[i] = 0
-		}
-		return false
-	}
-
 	for {
-		f := buildFunc()
-		if f != nil {
-			count++
-			if !emit(f) {
-				return count, true
-			}
-			if cfg.MaxFuncs > 0 && count >= cfg.MaxFuncs {
-				return count, true
+		if e.prepare() {
+			for {
+				count++
+				if !emit(e.build()) {
+					return count, true
+				}
+				if cfg.MaxFuncs > 0 && count >= cfg.MaxFuncs {
+					return count, true
+				}
+				if !e.advanceDigits() {
+					break
+				}
 			}
 		}
-		if !advance() {
-			return count, truncated
+		if !e.advanceTemplates(shard >= 0) {
+			return count, false
 		}
 	}
 }

@@ -1,0 +1,212 @@
+package refine
+
+import (
+	"fmt"
+	"strings"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+)
+
+// Memo caches behaviour sets across refinement checks, keyed by the
+// canonical (function, semantics, input vector) triple.
+//
+// Exhaustive campaigns are dominated by structurally identical work:
+// most candidates pass through an optimizer unchanged or collapse to
+// one of a few small forms, so the same behaviour sets are re-derived
+// over and over. The memo turns those derivations into lookups.
+//
+// The cache is two-level so the hot path never touches the expensive
+// part of the key. The first level maps the canonical function text
+// (plus a semantics/bounds fingerprint) to a per-function entry; a
+// two-slot identity cache — two slots because Check alternates between
+// src and tgt on every input — resolves repeat (function, options)
+// pairs by pointer comparison, so the function is printed once per
+// Check side, not once per input. The second level maps the input
+// vector's short key to its behaviour set.
+//
+// Keys are full canonical strings, not hashes, so a hit can never be a
+// collision: a memoized verdict is always the verdict the interpreter
+// would have produced (see TestMemoNeverChangesVerdict). Entries whose
+// sets are Incomplete are not cached — they depend on enumeration
+// bounds in a way that is cheap to just redo. The identity cache
+// assumes functions are not mutated between checks that share a Memo;
+// the pipeline upholds this by checking sources it never mutates and
+// transforming private clones.
+//
+// A Memo is NOT safe for concurrent use. The pipeline gives each
+// worker shard its own Memo, which both avoids locking and keeps
+// hit-rate statistics deterministic for a fixed shard layout.
+type Memo struct {
+	funcs map[string]*memoFuncEntry
+	sets  int // total cached behaviour sets, bounded by max
+	max   int
+
+	hits, lookups uint64
+
+	// ident is the two-slot identity cache; identPos is the next slot
+	// to evict (round-robin).
+	ident    [2]memoIdent
+	identPos int
+}
+
+type memoFuncEntry struct {
+	// sets is the generic second level, keyed by input-vector text.
+	sets map[string]BehaviorSet
+	// byIdx is the fast second level used by Check, keyed by the input
+	// vector's ordinal in Check's deterministic enumeration. Sound
+	// because the fingerprint pins everything the sequence depends on:
+	// the parameter types (via the function text) and the source mode.
+	byIdx []idxSet
+}
+
+type idxSet struct {
+	set BehaviorSet
+	ok  bool
+}
+
+type memoIdent struct {
+	fn    *ir.Func
+	opts  memoOpts
+	entry *memoFuncEntry
+}
+
+// memoOpts is the comparable fingerprint of everything besides the
+// function and inputs that determines a behaviour set.
+type memoOpts struct {
+	opts       core.Options
+	srcMode    core.Mode // governs Check's input enumeration
+	maxChoices int
+	maxFanout  uint64
+	maxExecs   int
+	fuel       int
+}
+
+// memoRef carries a resolved slot from lookup to store so the key work
+// is not repeated on the put path. ordinal < 0 means the string-keyed
+// level addressed by argsKey; otherwise byIdx[ordinal].
+type memoRef struct {
+	entry   *memoFuncEntry
+	argsKey string
+	ordinal int
+}
+
+// DefaultMemoEntries bounds a memo at roughly tens of MB for §6-sized
+// functions.
+const DefaultMemoEntries = 1 << 17
+
+// NewMemo returns a memo holding at most max behaviour sets (0 means
+// DefaultMemoEntries). When full it stops admitting new entries;
+// existing entries keep hitting.
+func NewMemo(max int) *Memo {
+	if max <= 0 {
+		max = DefaultMemoEntries
+	}
+	return &Memo{funcs: make(map[string]*memoFuncEntry), max: max}
+}
+
+// Hits returns the number of lookups answered from the cache.
+func (m *Memo) Hits() uint64 { return m.hits }
+
+// Lookups returns the total number of lookups.
+func (m *Memo) Lookups() uint64 { return m.lookups }
+
+// Len returns the number of cached behaviour sets.
+func (m *Memo) Len() int { return m.sets }
+
+// funcEntry resolves the per-function cache level, through the
+// identity cache when possible.
+func (m *Memo) funcEntry(fn *ir.Func, mo memoOpts) *memoFuncEntry {
+	for i := range m.ident {
+		if m.ident[i].fn == fn && m.ident[i].opts == mo {
+			return m.ident[i].entry
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d|%d|%t|%d|%d|%d|%d|%d|%d\x00",
+		mo.opts.Mode, mo.opts.BranchPoison, mo.opts.SelectPoisonCond,
+		mo.opts.SelectArmPoisonEither, mo.opts.Fuel, mo.opts.MaxCallDepth,
+		mo.maxChoices, mo.maxFanout, mo.maxExecs, mo.fuel)
+	b.WriteString(fn.String())
+	key := b.String()
+	entry := m.funcs[key]
+	if entry == nil {
+		entry = &memoFuncEntry{}
+		m.funcs[key] = entry
+	}
+	m.ident[m.identPos] = memoIdent{fn: fn, opts: mo, entry: entry}
+	m.identPos = (m.identPos + 1) % len(m.ident)
+	return entry
+}
+
+func memoOptsOf(opts core.Options, cfg Config) memoOpts {
+	return memoOpts{
+		opts:       opts,
+		srcMode:    cfg.SrcOpts.Mode,
+		maxChoices: cfg.MaxChoices,
+		maxFanout:  cfg.MaxFanout,
+		maxExecs:   cfg.MaxExecs,
+		fuel:       cfg.Fuel,
+	}
+}
+
+func argsKey(args []core.Value) string {
+	var b strings.Builder
+	b.Grow(len(args) * 8)
+	for _, a := range args {
+		b.WriteString(a.Key())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// lookup resolves (fn, args, opts, cfg); ok reports a hit. The
+// returned ref is passed to store to cache a freshly computed set.
+// ordinal, when non-negative, is the input vector's position in
+// Check's deterministic enumeration and selects the slice-indexed
+// level, whose hot path does no string work at all; pass -1 when no
+// such ordinal exists.
+func (m *Memo) lookup(fn *ir.Func, args []core.Value, ordinal int, opts core.Options, cfg Config) (memoRef, BehaviorSet, bool) {
+	m.lookups++
+	entry := m.funcEntry(fn, memoOptsOf(opts, cfg))
+	if ordinal >= 0 {
+		ref := memoRef{entry: entry, ordinal: ordinal}
+		if ordinal < len(entry.byIdx) && entry.byIdx[ordinal].ok {
+			m.hits++
+			return ref, entry.byIdx[ordinal].set, true
+		}
+		return ref, BehaviorSet{}, false
+	}
+	ref := memoRef{entry: entry, argsKey: argsKey(args), ordinal: -1}
+	set, ok := entry.sets[ref.argsKey]
+	if ok {
+		m.hits++
+	}
+	return ref, set, ok
+}
+
+// store caches a computed set under a ref obtained from lookup.
+func (m *Memo) store(ref memoRef, set BehaviorSet) {
+	if set.Incomplete || m.sets >= m.max {
+		return
+	}
+	if ref.ordinal >= 0 {
+		for len(ref.entry.byIdx) <= ref.ordinal {
+			ref.entry.byIdx = append(ref.entry.byIdx, idxSet{})
+		}
+		if ref.entry.byIdx[ref.ordinal].ok {
+			return
+		}
+		ref.entry.byIdx[ref.ordinal] = idxSet{set: set, ok: true}
+		m.sets++
+		return
+	}
+	if _, dup := ref.entry.sets[ref.argsKey]; dup {
+		return
+	}
+	if ref.entry.sets == nil {
+		ref.entry.sets = make(map[string]BehaviorSet)
+	}
+	ref.entry.sets[ref.argsKey] = set
+	m.sets++
+}

@@ -1,0 +1,152 @@
+package refine
+
+import (
+	"reflect"
+	"testing"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+)
+
+var memoPairs = []struct {
+	src, tgt   string
+	legacyOnly bool // uses undef, which the freeze dialect rejects
+}{
+	// Valid nsw comparison transform (§2.4).
+	{src: `define i1 @f(i2 %a, i2 %b) {
+entry:
+  %add = add nsw i2 %a, %b
+  %cmp = icmp sgt i2 %add, %a
+  ret i1 %cmp
+}`, tgt: `define i1 @f(i2 %a, i2 %b) {
+entry:
+  %cmp = icmp sgt i2 %b, 0
+  ret i1 %cmp
+}`},
+	// Invalid wrapping variant of the same transform.
+	{src: `define i1 @f(i2 %a, i2 %b) {
+entry:
+  %add = add i2 %a, %b
+  %cmp = icmp sgt i2 %add, %a
+  ret i1 %cmp
+}`, tgt: `define i1 @f(i2 %a, i2 %b) {
+entry:
+  %cmp = icmp sgt i2 %b, 0
+  ret i1 %cmp
+}`},
+	// Identity on a nondeterminism-heavy function: same src behaviour
+	// sets get looked up by both sides.
+	{src: `define i2 @g(i2 %a) {
+entry:
+  %x = freeze i2 %a
+  %y = xor i2 %x, %a
+  ret i2 %y
+}`, tgt: `define i2 @g(i2 %a) {
+entry:
+  %x = freeze i2 %a
+  %y = xor i2 %x, %a
+  ret i2 %y
+}`},
+	// Refinement with undef in the source.
+	{src: `define i2 @h(i2 %a) {
+entry:
+  %x = or i2 %a, undef
+  ret i2 %x
+}`, tgt: `define i2 @h(i2 %a) {
+entry:
+  ret i2 %a
+}`, legacyOnly: true},
+}
+
+// TestMemoNeverChangesVerdict runs every pair twice per semantics —
+// cold and against a warm shared memo — and requires identical
+// Results. Memo keys are full canonical strings, so this holds by
+// construction; the test guards the construction.
+func TestMemoNeverChangesVerdict(t *testing.T) {
+	for _, opts := range []core.Options{
+		core.FreezeOptions(),
+		core.LegacyOptions(core.BranchPoisonNondet),
+	} {
+		memo := NewMemo(0)
+		for round := 0; round < 2; round++ {
+			for i, p := range memoPairs {
+				if p.legacyOnly && opts.Mode == core.Freeze {
+					continue
+				}
+				src := ir.MustParseFunc(p.src)
+				tgt := ir.MustParseFunc(p.tgt)
+				cfg := DefaultConfig(opts, opts)
+
+				plain := Check(src, tgt, cfg)
+				cfg.Memo = memo
+				memoized := Check(src, tgt, cfg)
+				if !reflect.DeepEqual(plain, memoized) {
+					t.Errorf("mode=%v pair=%d round=%d: memo changed verdict:\nplain:    %s\nmemoized: %s",
+						opts.Mode, i, round, plain, memoized)
+				}
+			}
+		}
+		if memo.Hits() == 0 {
+			t.Errorf("mode=%v: warm rounds produced no memo hits", opts.Mode)
+		}
+	}
+}
+
+// TestMemoHitsOnRepeatedCheck: a second identical Check must be
+// answered entirely from the cache.
+func TestMemoHitsOnRepeatedCheck(t *testing.T) {
+	src := ir.MustParseFunc(memoPairs[0].src)
+	tgt := ir.MustParseFunc(memoPairs[0].tgt)
+	cfg := DefaultConfig(core.FreezeOptions(), core.FreezeOptions())
+	cfg.Memo = NewMemo(0)
+
+	Check(src, tgt, cfg)
+	cold := cfg.Memo.Lookups()
+	if cold == 0 {
+		t.Fatal("no memo lookups on first Check")
+	}
+	hitsBefore := cfg.Memo.Hits()
+
+	Check(src, tgt, cfg)
+	if got := cfg.Memo.Hits() - hitsBefore; got != cold {
+		t.Errorf("second Check: %d hits, want all %d lookups to hit", got, cold)
+	}
+}
+
+// TestMemoCapacity: a full memo stops admitting but keeps serving.
+func TestMemoCapacity(t *testing.T) {
+	m := NewMemo(1)
+	fn := ir.MustParseFunc(memoPairs[2].src)
+	opts := core.FreezeOptions()
+	cfg := DefaultConfig(opts, opts)
+
+	a := []core.Value{core.VC(ir.Int(2), 0)}
+	b := []core.Value{core.VC(ir.Int(2), 1)}
+	refA, _, _ := m.lookup(fn, a, -1, opts, cfg)
+	m.store(refA, BehaviorSet{})
+	refB, _, _ := m.lookup(fn, b, -1, opts, cfg)
+	m.store(refB, BehaviorSet{})
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (capacity)", m.Len())
+	}
+	if _, _, ok := m.lookup(fn, a, -1, opts, cfg); !ok {
+		t.Error("entry evicted from full memo")
+	}
+	if _, _, ok := m.lookup(fn, b, -1, opts, cfg); ok {
+		t.Error("over-capacity entry admitted")
+	}
+}
+
+// TestMemoSkipsIncomplete: incomplete behaviour sets depend on the
+// enumeration bounds and must never be cached.
+func TestMemoSkipsIncomplete(t *testing.T) {
+	m := NewMemo(0)
+	fn := ir.MustParseFunc(memoPairs[2].src)
+	opts := core.FreezeOptions()
+	cfg := DefaultConfig(opts, opts)
+	ref, _, _ := m.lookup(fn, nil, -1, opts, cfg)
+	m.store(ref, BehaviorSet{Incomplete: true})
+	if m.Len() != 0 {
+		t.Error("incomplete set was cached")
+	}
+}

@@ -21,6 +21,7 @@ package refine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"tameir/internal/core"
@@ -68,9 +69,12 @@ func (b BehaviorSet) String() string {
 	if b.Undef {
 		parts = append(parts, "undef")
 	}
+	rets := make([]string, 0, len(b.Rets))
 	for k := range b.Rets {
-		parts = append(parts, k)
+		rets = append(rets, k)
 	}
+	sort.Strings(rets)
+	parts = append(parts, rets...)
 	if b.Void {
 		parts = append(parts, "ret void")
 	}
@@ -101,6 +105,18 @@ type Config struct {
 	MaxInputs int
 	// Fuel bounds steps per execution (overrides the options' fuel).
 	Fuel int
+
+	// Memo, when non-nil, caches behaviour sets by canonical
+	// (function, semantics, input) key so structurally identical
+	// candidates skip re-interpretation. A memo hit never changes a
+	// verdict (keys are full canonical strings, not hashes). A Memo is
+	// not safe for concurrent use: give each worker its own.
+	Memo *Memo
+
+	// Oracle, when non-nil, is reused across executions instead of
+	// allocating a fresh enumeration oracle per behaviour set. Like
+	// Memo it must not be shared between goroutines.
+	Oracle *core.EnumOracle
 }
 
 // DefaultConfig is tuned for the Section 6 experiment: 2-bit
@@ -118,13 +134,34 @@ func DefaultConfig(srcOpts, tgtOpts core.Options) Config {
 }
 
 // Behaviors computes the behaviour set of fn on args by exhaustive
-// oracle enumeration.
+// oracle enumeration, consulting cfg.Memo first when one is set.
 func Behaviors(fn *ir.Func, args []core.Value, opts core.Options, cfg Config) BehaviorSet {
+	return behaviorsAt(fn, args, -1, opts, cfg)
+}
+
+// behaviorsAt is Behaviors with an input ordinal: Check passes each
+// input vector's position in its deterministic enumeration, unlocking
+// the memo's string-free fast path. ordinal -1 means "unknown".
+func behaviorsAt(fn *ir.Func, args []core.Value, ordinal int, opts core.Options, cfg Config) BehaviorSet {
+	var memoRef memoRef
+	if cfg.Memo != nil {
+		var set BehaviorSet
+		var ok bool
+		memoRef, set, ok = cfg.Memo.lookup(fn, args, ordinal, opts, cfg)
+		if ok {
+			return set
+		}
+	}
 	set := BehaviorSet{Rets: map[string]bool{}}
 	if !fn.RetTy.IsVoid() && fn.RetTy.Bitwidth() <= 20 {
 		set.RetBits = fn.RetTy.Bitwidth()
 	}
-	o := core.NewEnumOracle(cfg.MaxChoices, cfg.MaxFanout)
+	o := cfg.Oracle
+	if o == nil {
+		o = core.NewEnumOracle(cfg.MaxChoices, cfg.MaxFanout)
+	} else {
+		o.Clear(cfg.MaxChoices, cfg.MaxFanout)
+	}
 	if cfg.Fuel > 0 {
 		opts.Fuel = cfg.Fuel
 	}
@@ -164,6 +201,9 @@ func Behaviors(fn *ir.Func, args []core.Value, opts core.Options, cfg Config) Be
 	if o.Overflowed {
 		set.Incomplete = true
 	}
+	if cfg.Memo != nil {
+		cfg.Memo.store(memoRef, set)
+	}
 	return set
 }
 
@@ -188,10 +228,16 @@ func Refines(src, tgt BehaviorSet) (bool, string) {
 	if src.Poison || src.Undef {
 		return true, "" // deferred UB in source covers every concrete value
 	}
+	// Report the smallest missing value so the counterexample is
+	// deterministic (map iteration order is not).
+	missing := ""
 	for r := range tgt.Rets {
-		if !src.Rets[r] {
-			return false, fmt.Sprintf("target can return %s, source cannot", r)
+		if !src.Rets[r] && (missing == "" || r < missing) {
+			missing = r
 		}
+	}
+	if missing != "" {
+		return false, fmt.Sprintf("target can return %s, source cannot", missing)
 	}
 	if tgt.Void && !src.Void {
 		return false, "target returns void, source never returns"
@@ -306,8 +352,8 @@ func Check(src, tgt *ir.Func, cfg Config) Result {
 			res.Exhaustive = false
 			break
 		}
-		sb := Behaviors(src, args, cfg.SrcOpts, cfg)
-		tb := Behaviors(tgt, args, cfg.TgtOpts, cfg)
+		sb := behaviorsAt(src, args, res.Inputs-1, cfg.SrcOpts, cfg)
+		tb := behaviorsAt(tgt, args, res.Inputs-1, cfg.TgtOpts, cfg)
 		ok, reason := Refines(sb, tb)
 		if !ok {
 			if strings.HasPrefix(reason, "inconclusive") {

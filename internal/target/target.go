@@ -1,0 +1,354 @@
+// Package target defines VX64, the virtual machine target the backend
+// compiles to: a small x86-64-flavoured register machine with sixteen
+// general registers, a stack that grows down, and one architectural
+// quirk kept on purpose (the LEA high-register latency penalty behind
+// the Queens anecdote in §7.2).
+//
+// The paper's §6 prototype "reserves a register for each poison
+// value"; VX64 reserves a single pinned undef register (UR) that the
+// register allocator never assigns. Reads of UR yield an arbitrary but
+// fixed value, which is exactly the freeze semantics the backend needs:
+// "taking a copy from an undef register effectively freezes
+// undefinedness".
+package target
+
+import "fmt"
+
+// Reg is a VX64 physical register.
+type Reg uint8
+
+// Physical registers. R0..R11 are allocatable (R0 doubles as the
+// return-value register), R12/R13 are the spill scratch pair, SP/FP
+// are the stack and frame pointers, and UR is the pinned undef
+// register.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	SP
+	FP
+	UR
+
+	// NumRegs is the size of the register file.
+	NumRegs = int(UR) + 1
+	// NumAllocatable is the number of registers the allocator may use.
+	NumAllocatable = 12
+)
+
+// String returns the assembly name of the register.
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case FP:
+		return "fp"
+	case UR:
+		return "ur"
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// Opcode is a VX64 instruction opcode.
+type Opcode uint8
+
+// The VX64 instruction set. rr forms are two-address
+// (dst = dst OP src) except the moves and compares; ri forms take an
+// immediate.
+const (
+	OpInvalid Opcode = iota
+
+	MOVri // dst = imm
+	MOVrr // dst = src
+	MOVSX // dst = sign_extend(src[0:8*size])
+	MOVZX // dst = zero_extend(src[0:8*size])
+
+	ADDrr // dst += src
+	SUBrr // dst -= src
+	IMULrr
+	ANDrr
+	ORrr
+	XORrr
+	SHLrr
+	SHRrr
+	SARrr
+	UDIVrr
+	SDIVrr
+	UREMrr
+	SREMrr
+
+	ADDri
+	ANDri
+	ORri
+	XORri
+	SHLri
+	SHRri
+	SARri
+
+	CMPrr // flags = compare(dst, src)
+	CMPri // flags = compare(dst, imm)
+	SETcc // dst = cond ? 1 : 0
+	CMOVcc
+
+	LEA // dst = src + src2*scale + imm (scale 0: dst = src + imm)
+
+	LOAD  // dst = mem[src+imm : size]
+	STORE // mem[dst+imm : size] = src
+
+	PUSH // sp -= 8; mem[sp] = src
+	POP  // dst = mem[sp]; sp += 8
+
+	JMP  // goto block target
+	Jcc  // if cond goto block target
+	CALL // call function target
+	RET
+
+	numOpcodes
+)
+
+var opNames = [numOpcodes]string{
+	OpInvalid: "invalid",
+	MOVri:     "mov", MOVrr: "mov", MOVSX: "movsx", MOVZX: "movzx",
+	ADDrr: "add", SUBrr: "sub", IMULrr: "imul",
+	ANDrr: "and", ORrr: "or", XORrr: "xor",
+	SHLrr: "shl", SHRrr: "shr", SARrr: "sar",
+	UDIVrr: "udiv", SDIVrr: "sdiv", UREMrr: "urem", SREMrr: "srem",
+	ADDri: "add", ANDri: "and", ORri: "or", XORri: "xor",
+	SHLri: "shl", SHRri: "shr", SARri: "sar",
+	CMPrr: "cmp", CMPri: "cmp", SETcc: "set", CMOVcc: "cmov",
+	LEA: "lea", LOAD: "load", STORE: "store",
+	PUSH: "push", POP: "pop",
+	JMP: "jmp", Jcc: "j", CALL: "call", RET: "ret",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", int(o))
+}
+
+// Cond is a VX64 condition code, evaluated against the last CMP.
+type Cond uint8
+
+// Condition codes, matching the IR's icmp predicates.
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondUGT
+	CondUGE
+	CondULT
+	CondULE
+	CondSGT
+	CondSGE
+	CondSLT
+	CondSLE
+)
+
+var condNames = [...]string{"eq", "ne", "ugt", "uge", "ult", "ule", "sgt", "sge", "slt", "sle"}
+
+// String returns the condition suffix.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cc%d", int(c))
+}
+
+// Holds evaluates the condition against a recorded compare of a and b.
+func (c Cond) Holds(a, b uint64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondUGT:
+		return a > b
+	case CondUGE:
+		return a >= b
+	case CondULT:
+		return a < b
+	case CondULE:
+		return a <= b
+	case CondSGT:
+		return int64(a) > int64(b)
+	case CondSGE:
+		return int64(a) >= int64(b)
+	case CondSLT:
+		return int64(a) < int64(b)
+	}
+	return int64(a) <= int64(b) // CondSLE
+}
+
+// Instr is one machine instruction over physical registers.
+type Instr struct {
+	Op     Opcode
+	Dst    Reg
+	Src    Reg
+	Src2   Reg
+	Imm    int64
+	Scale  uint8
+	Size   uint8
+	Cond   Cond
+	Target int // block index (JMP/Jcc) or function index (CALL)
+}
+
+// String renders the instruction in VX64 assembly syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case MOVri:
+		return fmt.Sprintf("mov %s, %d", in.Dst, in.Imm)
+	case MOVrr:
+		return fmt.Sprintf("mov %s, %s", in.Dst, in.Src)
+	case MOVSX, MOVZX:
+		return fmt.Sprintf("%s %s, %s:%d", in.Op, in.Dst, in.Src, in.Size)
+	case ADDrr, SUBrr, IMULrr, ANDrr, ORrr, XORrr, SHLrr, SHRrr, SARrr,
+		UDIVrr, SDIVrr, UREMrr, SREMrr:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.Src)
+	case ADDri, ANDri, ORri, XORri, SHLri, SHRri, SARri:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Dst, in.Imm)
+	case CMPrr:
+		return fmt.Sprintf("cmp %s, %s", in.Dst, in.Src)
+	case CMPri:
+		return fmt.Sprintf("cmp %s, %d", in.Dst, in.Imm)
+	case SETcc:
+		return fmt.Sprintf("set%s %s", in.Cond, in.Dst)
+	case CMOVcc:
+		return fmt.Sprintf("cmov%s %s, %s", in.Cond, in.Dst, in.Src)
+	case LEA:
+		if in.Scale == 0 {
+			return fmt.Sprintf("lea %s, [%s%+d]", in.Dst, in.Src, in.Imm)
+		}
+		return fmt.Sprintf("lea %s, [%s+%s*%d%+d]", in.Dst, in.Src, in.Src2, in.Scale, in.Imm)
+	case LOAD:
+		return fmt.Sprintf("load %s, [%s%+d]:%d", in.Dst, in.Src, in.Imm, in.Size)
+	case STORE:
+		return fmt.Sprintf("store [%s%+d]:%d, %s", in.Dst, in.Imm, in.Size, in.Src)
+	case PUSH:
+		return fmt.Sprintf("push %s", in.Src)
+	case POP:
+		return fmt.Sprintf("pop %s", in.Dst)
+	case JMP:
+		return fmt.Sprintf("jmp L%d", in.Target)
+	case Jcc:
+		return fmt.Sprintf("j%s L%d", in.Cond, in.Target)
+	case CALL:
+		return fmt.Sprintf("call F%d", in.Target)
+	case RET:
+		return "ret"
+	}
+	return fmt.Sprintf("%s ?", in.Op)
+}
+
+// MFunc is a compiled machine function: a list of basic blocks of
+// instructions. Branch targets are block indices; block 0 is the
+// entry.
+type MFunc struct {
+	Name      string
+	Blocks    [][]Instr
+	FrameSize uint32
+	NumParams int
+}
+
+// GlobalBlob is a module global lowered to raw bytes.
+type GlobalBlob struct {
+	Name string
+	Size uint32
+	Init []byte
+}
+
+// Program is a fully compiled module ready for the simulator.
+type Program struct {
+	Globals []GlobalBlob
+	Funcs   []*MFunc
+}
+
+// FuncByName returns the index of the named function, or -1.
+func (p *Program) FuncByName(name string) int {
+	for i, f := range p.Funcs {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// GlobalBase is the load address of the first global; everything below
+// it is an unmapped guard region, so null (and small offsets off null)
+// trap.
+const GlobalBase = 4096
+
+// LayoutGlobals assigns load addresses to the globals, 16-byte aligned
+// starting at GlobalBase, and returns the address of each.
+func LayoutGlobals(globals []GlobalBlob) []uint32 {
+	addrs := make([]uint32, len(globals))
+	addr := uint32(GlobalBase)
+	for i, g := range globals {
+		addrs[i] = addr
+		sz := g.Size
+		if sz == 0 {
+			sz = 1
+		}
+		addr += (sz + 15) &^ 15
+	}
+	return addrs
+}
+
+// InstrSize returns the encoded size of an instruction in bytes, per
+// the VX64 encoding model: two bytes of opcode+modrm, one byte of SIB
+// for scaled addressing, four bytes for a 32-bit immediate or
+// displacement, eight for a 64-bit immediate.
+func InstrSize(in Instr) uint32 {
+	switch in.Op {
+	case RET:
+		return 1
+	case PUSH, POP:
+		return 2
+	case MOVri:
+		if in.Imm == int64(int32(in.Imm)) {
+			return 6
+		}
+		return 10
+	case ADDri, ANDri, ORri, XORri, SHLri, SHRri, SARri, CMPri:
+		return 6
+	case LOAD, STORE:
+		return 6
+	case LEA:
+		if in.Scale != 0 {
+			return 7
+		}
+		return 6
+	case JMP, Jcc, CALL:
+		return 6
+	case MOVSX, MOVZX, SETcc, CMOVcc:
+		return 3
+	}
+	return 2
+}
+
+// ProgramSize returns the encoded size of the program: per-function
+// instruction bytes, each function padded to a 16-byte boundary.
+func ProgramSize(p *Program) uint32 {
+	var total uint32
+	for _, f := range p.Funcs {
+		var fn uint32
+		for _, b := range f.Blocks {
+			for _, in := range b {
+				fn += InstrSize(in)
+			}
+		}
+		total += (fn + 15) &^ 15
+	}
+	return total
+}
