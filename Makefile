@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench check ci
 
 all: check
 
@@ -24,3 +24,8 @@ bench:
 	$(GO) test -bench 'BenchmarkRefineCheck|BenchmarkExhaustive|BenchmarkCampaign' -benchtime 1x -run '^$$' ./internal/bench/
 
 check: build vet test race
+
+# CI entry point: full vet + test, then the race detector on the two
+# packages with worker pools and shared pass-manager state.
+ci: vet test
+	$(GO) test -race ./internal/passes ./internal/optfuzz

@@ -7,7 +7,7 @@
 //
 //	tame-fuzz [-mode exhaustive|random] [-instrs N] [-n MAX] [-seed S] [-width W]
 //	tame-fuzz -validate [-passes p1,p2|o2] [-sem legacy|freeze] [-unsound]
-//	          [-workers N] [-no-memo] [-instrs N] [-n MAX] [-width W]
+//	          [-workers N] [-no-memo] [-stats] [-instrs N] [-n MAX] [-width W]
 //
 // Without -validate each generated function is printed to stdout,
 // separated by blank lines — pipe into tame-opt or tame-tv. With
@@ -43,10 +43,11 @@ func main() {
 	unsound := flag.Bool("unsound", false, "use the historical (buggy) pass variants")
 	workers := flag.Int("workers", 1, "worker pool size (0 = one per CPU, 1 = serial)")
 	noMemo := flag.Bool("no-memo", false, "disable the behaviour-set memo cache")
+	optStats := flag.Bool("stats", false, "report per-pass change counts and timing after a -validate run")
 	flag.Parse()
 
 	if *validate {
-		runCampaign(*instrs, *n, *width, *passList, *sem, *unsound, *workers, *noMemo)
+		runCampaign(*instrs, *n, *width, *passList, *sem, *unsound, *workers, *noMemo, *optStats)
 		return
 	}
 
@@ -73,7 +74,7 @@ func main() {
 	}
 }
 
-func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, workers int, noMemo bool) {
+func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, workers int, noMemo, optStats bool) {
 	var opts core.Options
 	pcfg := &passes.Config{}
 	switch sem {
@@ -89,26 +90,19 @@ func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, 
 	}
 	pcfg.Unsound = unsound
 
-	transform := func(f *ir.Func) {
-		m := ir.NewModule()
-		m.AddFunc(f)
-		passes.O2().Run(m, pcfg)
-	}
+	pm := passes.O2()
 	if passList != "o2" && passList != "" {
-		var ps []passes.Pass
+		var names []string
 		for _, name := range strings.Split(passList, ",") {
-			p := passes.PassByName(strings.TrimSpace(name))
-			if p == nil {
-				fatal(fmt.Errorf("unknown pass %q", name))
-			}
-			ps = append(ps, p)
+			names = append(names, strings.TrimSpace(name))
 		}
-		transform = func(f *ir.Func) {
-			for _, p := range ps {
-				passes.RunPass(p, f, pcfg)
-			}
+		var err error
+		pm, err = passes.NewPassManager(names...)
+		if err != nil {
+			fatal(err)
 		}
 	}
+	pm.Instrument()
 
 	gen := optfuzz.DefaultConfig(instrs)
 	gen.Width = width
@@ -126,7 +120,8 @@ func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, 
 	c := optfuzz.Campaign{
 		Gen:         gen,
 		Refine:      refine.DefaultConfig(opts, opts),
-		Transform:   transform,
+		Pipeline:    pm,
+		PipelineCfg: pcfg,
 		Workers:     workers,
 		MemoEntries: memoEntries,
 	}
@@ -135,8 +130,8 @@ func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, 
 	elapsed := time.Since(start)
 
 	for _, f := range st.Findings {
-		fmt.Printf("REFUTED shard=%d index=%d\n%s\n→\n%s\n%s\n\n",
-			f.Shard, f.Index, f.Src, f.Tgt, f.Result)
+		fmt.Printf("REFUTED shard=%d index=%d changed-by=%s\n%s\n→\n%s\n%s\n\n",
+			f.Shard, f.Index, strings.Join(f.ChangedBy, ","), f.Src, f.Tgt, f.Result)
 	}
 	perSec := float64(st.Funcs) / elapsed.Seconds()
 	fmt.Fprintf(os.Stderr,
@@ -144,6 +139,10 @@ func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, 
 		st.Funcs, elapsed.Round(time.Millisecond), perSec, workers,
 		st.Verified, st.Refuted, st.Inconclusive,
 		st.MemoHits, st.MemoLookups, 100*st.HitRate())
+	if optStats && st.Opt != nil {
+		st.Opt.ReportTime(os.Stderr)
+		st.Opt.Report(os.Stderr)
+	}
 	if st.Refuted > 0 {
 		os.Exit(1)
 	}

@@ -2,10 +2,14 @@
 //
 // Usage:
 //
-//	tame-opt [-sem legacy|freeze] [-passes p1,p2,...|O2] [-unsound] [file]
+//	tame-opt [-sem legacy|freeze] [-passes p1,p2,...|O2] [-unsound]
+//	         [-time-passes] [-stats] [-print-changed] [file]
 //
 // Reads the module from file (or stdin), runs the passes, prints the
-// transformed module.
+// transformed module. -passes O2 runs the standard pipeline to fixed
+// point; an explicit list runs each pass once, in order. Instrumentation
+// (-time-passes, -stats, -print-changed) goes to stderr so the IR on
+// stdout stays pipeable.
 package main
 
 import (
@@ -25,6 +29,9 @@ func main() {
 	passList := flag.String("passes", "O2", "comma-separated pass names, or O2")
 	unsound := flag.Bool("unsound", false, "use the historical (pre-paper) pass variants")
 	verify := flag.Bool("verify", true, "verify IR after every pass")
+	timePasses := flag.Bool("time-passes", false, "report per-pass wall time to stderr")
+	stats := flag.Bool("stats", false, "report per-pass change counts and analysis-cache counters to stderr")
+	printChanged := flag.Bool("print-changed", false, "dump IR to stderr after every pass that changed it")
 	flag.Parse()
 
 	var src []byte
@@ -55,20 +62,42 @@ func main() {
 		fatal(err)
 	}
 
-	if *passList == "O2" {
-		passes.O2().Run(mod, cfg)
+	var pm *passes.PassManager
+	fixpoint := *passList == "O2"
+	if fixpoint {
+		pm = passes.O2()
 	} else {
+		var names []string
 		for _, name := range strings.Split(*passList, ",") {
-			p := passes.PassByName(strings.TrimSpace(name))
-			if p == nil {
-				fatal(fmt.Errorf("unknown pass %q", name))
-			}
-			for _, f := range mod.Funcs {
-				passes.RunPass(p, f, cfg)
-			}
+			names = append(names, strings.TrimSpace(name))
+		}
+		pm, err = passes.NewPassManager(names...)
+		if err != nil {
+			fatal(err)
 		}
 	}
+	if *timePasses || *stats {
+		pm.Instrument()
+	}
+	if *printChanged {
+		pm.PrintChanged = os.Stderr
+	}
+
+	if fixpoint {
+		pm.Run(mod, cfg)
+	} else {
+		// An explicit list keeps the historical single-sweep,
+		// pass-major semantics: every function sees pass k before any
+		// function sees pass k+1.
+		pm.RunOnce(mod, cfg)
+	}
 	fmt.Print(mod)
+	if *timePasses {
+		pm.Stats.ReportTime(os.Stderr)
+	}
+	if *stats {
+		pm.Stats.Report(os.Stderr)
+	}
 }
 
 func verifyMode(cfg *passes.Config) ir.VerifyMode {

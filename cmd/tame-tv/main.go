@@ -64,9 +64,9 @@ func main() {
 		}
 		var ps []passes.Pass
 		for _, name := range strings.Split(*passList, ",") {
-			p := passes.PassByName(strings.TrimSpace(name))
-			if p == nil {
-				fatal(fmt.Errorf("unknown pass %q", name))
+			p, err := passes.LookupPass(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
 			}
 			ps = append(ps, p)
 		}

@@ -13,12 +13,17 @@ type DomTree struct {
 
 // NewDomTree computes the dominator tree of f.
 func NewDomTree(f *ir.Func) *DomTree {
+	return newDomTree(f, Preds(f))
+}
+
+// newDomTree computes the dominator tree from an existing predecessor
+// map (shared with the Manager's cached CFG analysis).
+func newDomTree(f *ir.Func, preds map[*ir.Block][]*ir.Block) *DomTree {
 	rpo := ReversePostorder(f)
 	order := make(map[*ir.Block]int, len(rpo))
 	for i, b := range rpo {
 		order[b] = i
 	}
-	preds := Preds(f)
 	entry := f.Entry()
 	idom := map[*ir.Block]*ir.Block{entry: entry}
 

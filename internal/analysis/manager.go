@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"strings"
+
+	"tameir/internal/ir"
+)
+
+// Set is a bitset of the function-level analyses the Manager caches.
+// Passes declare, through the pass registry, which analyses remain
+// valid after they mutate the IR; the pass manager invalidates the
+// rest.
+type Set uint32
+
+const (
+	// CFG is the predecessor map (the block-level control-flow
+	// structure the other analyses derive from).
+	CFG Set = 1 << iota
+	// Doms is the dominator tree.
+	Doms
+	// Loops is the natural-loop forest.
+	Loops
+)
+
+// None and All are the two common preserved-set declarations: a pass
+// that rewires control flow preserves None; a pass that only touches
+// instructions within existing blocks (no edge or block changes)
+// preserves All.
+const (
+	None Set = 0
+	All  Set = CFG | Doms | Loops
+)
+
+// Has reports whether every analysis in a is in s.
+func (s Set) Has(a Set) bool { return s&a == a }
+
+// String renders the set for diagnostics ("cfg|domtree|loopinfo").
+func (s Set) String() string {
+	if s == None {
+		return "none"
+	}
+	var parts []string
+	if s.Has(CFG) {
+		parts = append(parts, "cfg")
+	}
+	if s.Has(Doms) {
+		parts = append(parts, "domtree")
+	}
+	if s.Has(Loops) {
+		parts = append(parts, "loopinfo")
+	}
+	return strings.Join(parts, "|")
+}
+
+// Stats counts manager activity: how many analyses were computed from
+// scratch and how many queries were served from the cache. The
+// difference is exactly what the pass manager's caching saves over the
+// historical recompute-per-pass behaviour.
+type Stats struct {
+	Computes uint64
+	Hits     uint64
+}
+
+// Add accumulates o into s (for merging per-shard managers).
+func (s *Stats) Add(o Stats) {
+	s.Computes += o.Computes
+	s.Hits += o.Hits
+}
+
+// Manager caches the function-level analyses (predecessor map,
+// dominator tree, loop info) for one function and serves them to
+// passes. Analyses are computed lazily on first query and retained
+// until Invalidate evicts them; the caller (normally the pass manager)
+// is responsible for invalidating after the IR changes, using each
+// pass's preserved-analyses declaration.
+//
+// A Manager is not safe for concurrent use; the parallel campaign
+// gives every worker its own manager, like every other piece of
+// per-shard state.
+type Manager struct {
+	fn    *ir.Func
+	preds map[*ir.Block][]*ir.Block
+	dt    *DomTree
+	li    *LoopInfo
+	stats Stats
+}
+
+// NewManager returns an empty manager for f.
+func NewManager(f *ir.Func) *Manager { return &Manager{fn: f} }
+
+// Func returns the function the manager serves.
+func (m *Manager) Func() *ir.Func { return m.fn }
+
+// Preds returns the cached predecessor map, computing it on first use.
+func (m *Manager) Preds() map[*ir.Block][]*ir.Block {
+	if m.preds == nil {
+		m.stats.Computes++
+		m.preds = Preds(m.fn)
+	} else {
+		m.stats.Hits++
+	}
+	return m.preds
+}
+
+// DomTree returns the cached dominator tree, computing it (and the
+// predecessor map it is built from) on first use.
+func (m *Manager) DomTree() *DomTree {
+	if m.dt == nil {
+		preds := m.Preds()
+		m.stats.Computes++
+		m.dt = newDomTree(m.fn, preds)
+	} else {
+		m.stats.Hits++
+	}
+	return m.dt
+}
+
+// LoopInfo returns the cached natural-loop forest, computing it (and
+// the dominator tree it depends on) on first use.
+func (m *Manager) LoopInfo() *LoopInfo {
+	if m.li == nil {
+		dt := m.DomTree()
+		m.stats.Computes++
+		m.li = FindLoops(m.fn, dt)
+	} else {
+		m.stats.Hits++
+	}
+	return m.li
+}
+
+// Invalidate evicts every cached analysis not in preserved. Dependent
+// analyses are evicted with their inputs: dropping the CFG drops the
+// dominator tree, and dropping the dominator tree drops loop info (a
+// cached derived result over an evicted input would silently go stale).
+func (m *Manager) Invalidate(preserved Set) {
+	if !preserved.Has(CFG) {
+		m.preds = nil
+		preserved &^= Doms | Loops
+	}
+	if !preserved.Has(Doms) {
+		m.dt = nil
+		preserved &^= Loops
+	}
+	if !preserved.Has(Loops) {
+		m.li = nil
+	}
+}
+
+// InvalidateAll evicts everything. Passes that mutate control flow
+// mid-run (loop unswitching between fixpoint rounds) call this so
+// their own later queries recompute.
+func (m *Manager) InvalidateAll() { m.Invalidate(None) }
+
+// Cached reports whether every analysis in s is currently cached.
+func (m *Manager) Cached(s Set) bool {
+	if s.Has(CFG) && m.preds == nil {
+		return false
+	}
+	if s.Has(Doms) && m.dt == nil {
+		return false
+	}
+	if s.Has(Loops) && m.li == nil {
+		return false
+	}
+	return true
+}
+
+// Stats returns the compute/hit counters accumulated so far.
+func (m *Manager) Stats() Stats { return m.stats }

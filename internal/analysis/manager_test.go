@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"testing"
+
+	"tameir/internal/ir"
+)
+
+func managerFunc(t *testing.T) *ir.Func {
+	t.Helper()
+	return ir.MustParseFunc(`define i2 @f(i1 %c, i2 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  br label %m
+m:
+  %p = phi i2 [ %x, %a ], [ 0, %b ]
+  ret i2 %p
+}`)
+}
+
+func TestSetString(t *testing.T) {
+	if got := None.String(); got != "none" {
+		t.Errorf("None = %q", got)
+	}
+	if got := All.String(); got != "cfg|domtree|loopinfo" {
+		t.Errorf("All = %q", got)
+	}
+	if got := (CFG | Doms).String(); got != "cfg|domtree" {
+		t.Errorf("CFG|Doms = %q", got)
+	}
+}
+
+func TestManagerLazyAndCached(t *testing.T) {
+	m := NewManager(managerFunc(t))
+	if m.Cached(CFG) || m.Cached(Doms) || m.Cached(Loops) {
+		t.Fatal("fresh manager claims cached analyses")
+	}
+	// LoopInfo pulls in its whole dependency chain.
+	if m.LoopInfo() == nil {
+		t.Fatal("nil loop info")
+	}
+	if !m.Cached(All) {
+		t.Fatal("LoopInfo should cache CFG and domtree too")
+	}
+	st := m.Stats()
+	if st.Computes != 3 {
+		t.Errorf("computes = %d, want 3 (preds, domtree, loopinfo)", st.Computes)
+	}
+	// Re-querying hits the cache and returns the identical objects.
+	dt := m.DomTree()
+	if m.DomTree() != dt {
+		t.Error("DomTree recomputed despite cache")
+	}
+	if got := m.Stats(); got.Computes != 3 || got.Hits == 0 {
+		t.Errorf("stats after re-query = %+v", got)
+	}
+}
+
+func TestManagerInvalidation(t *testing.T) {
+	m := NewManager(managerFunc(t))
+	m.LoopInfo()
+
+	// Preserving everything evicts nothing.
+	m.Invalidate(All)
+	if !m.Cached(All) {
+		t.Fatal("Invalidate(All) evicted a preserved analysis")
+	}
+
+	// Dropping only Doms must drop Loops too (it is derived from the
+	// domtree) but keep the CFG.
+	m.Invalidate(CFG)
+	if !m.Cached(CFG) {
+		t.Error("CFG evicted despite being preserved")
+	}
+	if m.Cached(Doms) || m.Cached(Loops) {
+		t.Error("domtree/loopinfo survived a CFG-only preserved set")
+	}
+
+	// Dropping the CFG takes the whole chain with it, even if the
+	// caller claims the derived analyses are preserved.
+	m.LoopInfo()
+	m.Invalidate(Doms | Loops)
+	if m.Cached(CFG) || m.Cached(Doms) || m.Cached(Loops) {
+		t.Error("derived analyses survived CFG eviction")
+	}
+
+	m.LoopInfo()
+	m.InvalidateAll()
+	if m.Cached(CFG) || m.Cached(Doms) || m.Cached(Loops) {
+		t.Error("InvalidateAll left something cached")
+	}
+}
+
+func TestManagerMatchesDirectComputation(t *testing.T) {
+	f := managerFunc(t)
+	m := NewManager(f)
+	direct := NewDomTree(f)
+	cached := m.DomTree()
+	for _, b := range f.Blocks {
+		if direct.IDom(b) != cached.IDom(b) {
+			t.Errorf("idom(%s) differs: direct %v, manager %v",
+				b.Name(), direct.IDom(b), cached.IDom(b))
+		}
+	}
+}

@@ -29,11 +29,21 @@ type PipelineResult struct {
 	MemoHits     uint64
 	MemoLookups  uint64
 	HitRate      float64 // in [0, 1]
+
+	// AnalysisCache is whether the pass manager served CFG/domtree/
+	// loopinfo from its per-function cache (the cached-vs-uncached
+	// experiment toggles it; multi-pass campaigns always cache).
+	AnalysisCache bool
+	// AnalysisComputes / AnalysisHits are the analysis manager's
+	// counters summed across shards (only recorded for -O2 campaigns,
+	// which run through an instrumented PassManager).
+	AnalysisComputes uint64
+	AnalysisHits     uint64
 }
 
 // pipelineCampaign builds the §6 validation campaign: -O2 alone, or
 // all five validation passes (multiPass) sharing each shard's memo.
-func pipelineCampaign(fixed bool, numInstrs, maxFuncs, workers int, memo, multiPass bool) optfuzz.Campaign {
+func pipelineCampaign(fixed bool, numInstrs, maxFuncs, workers int, memo, multiPass, analysisCache bool) optfuzz.Campaign {
 	var sem core.Options
 	var pcfg *passes.Config
 	gen := optfuzz.DefaultConfig(numInstrs)
@@ -68,19 +78,18 @@ func pipelineCampaign(fixed bool, numInstrs, maxFuncs, workers int, memo, multiP
 			})
 		}
 	} else {
-		c.Transform = func(f *ir.Func) {
-			m := ir.NewModule()
-			m.AddFunc(f)
-			passes.O2().Run(m, pcfg)
-		}
+		pm := passes.O2().Instrument()
+		pm.NoAnalysisCache = !analysisCache
+		c.Pipeline = pm
+		c.PipelineCfg = pcfg
 	}
 	return c
 }
 
 // MeasurePipeline times one campaign configuration and reports
 // validation throughput and memo effectiveness.
-func MeasurePipeline(fixed bool, numInstrs, maxFuncs, workers int, memo, multiPass bool) PipelineResult {
-	c := pipelineCampaign(fixed, numInstrs, maxFuncs, workers, memo, multiPass)
+func MeasurePipeline(fixed bool, numInstrs, maxFuncs, workers int, memo, multiPass, analysisCache bool) PipelineResult {
+	c := pipelineCampaign(fixed, numInstrs, maxFuncs, workers, memo, multiPass, analysisCache)
 	npasses := 1
 	if multiPass {
 		npasses = len(c.Transforms)
@@ -89,33 +98,43 @@ func MeasurePipeline(fixed bool, numInstrs, maxFuncs, workers int, memo, multiPa
 	st := c.Run()
 	elapsed := time.Since(start)
 	checks := st.Verified + st.Refuted + st.Inconclusive
-	return PipelineResult{
-		Workers:      workers,
-		Memo:         memo,
-		Passes:       npasses,
-		Funcs:        st.Funcs,
-		Checks:       checks,
-		Refuted:      st.Refuted,
-		Elapsed:      elapsed,
-		ChecksPerSec: float64(checks) / elapsed.Seconds(),
-		MemoHits:     st.MemoHits,
-		MemoLookups:  st.MemoLookups,
-		HitRate:      st.HitRate(),
+	r := PipelineResult{
+		Workers:       workers,
+		Memo:          memo,
+		Passes:        npasses,
+		Funcs:         st.Funcs,
+		Checks:        checks,
+		Refuted:       st.Refuted,
+		Elapsed:       elapsed,
+		ChecksPerSec:  float64(checks) / elapsed.Seconds(),
+		MemoHits:      st.MemoHits,
+		MemoLookups:   st.MemoLookups,
+		HitRate:       st.HitRate(),
+		AnalysisCache: multiPass || analysisCache,
 	}
+	if st.Opt != nil {
+		r.AnalysisComputes = st.Opt.Analysis.Computes
+		r.AnalysisHits = st.Opt.Analysis.Hits
+	}
+	return r
 }
 
 // ReportPipeline renders the E11 table.
 func ReportPipeline(w io.Writer, title string, rows []PipelineResult) {
 	fmt.Fprintf(w, "== E11: pipeline throughput (%s) ==\n", title)
-	fmt.Fprintf(w, "%8s %5s %7s %8s %8s %10s %11s %9s\n",
-		"workers", "memo", "passes", "funcs", "checks", "elapsed", "checks/sec", "hit-rate")
+	fmt.Fprintf(w, "%8s %5s %7s %7s %8s %8s %10s %11s %9s\n",
+		"workers", "memo", "acache", "passes", "funcs", "checks", "elapsed", "checks/sec", "hit-rate")
 	for _, r := range rows {
 		memo := "off"
 		if r.Memo {
 			memo = "on"
 		}
-		fmt.Fprintf(w, "%8d %5s %7d %8d %8d %10s %11.0f %8.1f%%\n",
-			r.Workers, memo, r.Passes, r.Funcs, r.Checks,
+		acache := "off"
+		if r.AnalysisCache {
+			acache = "on"
+		}
+		fmt.Fprintf(w, "%8d %5s %7s %7d %8d %8d %10s %11.0f %8.1f%%\n",
+			r.Workers, memo, acache, r.Passes, r.Funcs, r.Checks,
 			r.Elapsed.Round(time.Millisecond), r.ChecksPerSec, 100*r.HitRate)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"tameir/internal/core"
 	"tameir/internal/ir"
 	"tameir/internal/parallel"
+	"tameir/internal/passes"
 	"tameir/internal/refine"
 )
 
@@ -43,6 +44,17 @@ type Campaign struct {
 	// source within one pass.
 	Transforms []NamedTransform
 
+	// Pipeline, when non-nil (and Transforms is empty), overrides
+	// Transform: every candidate runs through a per-shard Clone of the
+	// pass manager, so findings carry the names of the passes that
+	// fired (Finding.ChangedBy) and, when the manager is instrumented,
+	// per-shard Stats merge deterministically into the campaign's Opt.
+	Pipeline *passes.PassManager
+
+	// PipelineCfg is the pass configuration for Pipeline. Required when
+	// Pipeline is set.
+	PipelineCfg *passes.Config
+
 	// Workers bounds pool concurrency; 0 means one per CPU, 1 is
 	// serial.
 	Workers int
@@ -65,6 +77,11 @@ type Finding struct {
 	Shard, Index int
 	// Pass names the refuted transform (empty for a bare Transform).
 	Pass string
+	// ChangedBy lists the pipeline passes that reported a change on
+	// this candidate, deduplicated, in first-fire order (only set for
+	// Pipeline campaigns). The last CFG- or value-rewriting pass in the
+	// list is the prime miscompilation suspect.
+	ChangedBy []string
 	// Src and Tgt are the printed functions.
 	Src, Tgt string
 	// Result carries the counterexample.
@@ -101,6 +118,10 @@ type Stats struct {
 	// MemoHits / MemoLookups aggregate the per-shard memo counters.
 	MemoHits    uint64
 	MemoLookups uint64
+
+	// Opt merges the per-shard pass-manager statistics in shard order
+	// (nil unless the campaign ran an instrumented Pipeline).
+	Opt *passes.Stats
 }
 
 // HitRate returns the memo hit fraction in [0, 1].
@@ -113,9 +134,15 @@ func (s Stats) HitRate() float64 {
 
 // shardBudgets splits a campaign-wide MaxFuncs over shards:
 // shard i receives total/shards plus one of the remainder's units.
-// The split depends only on the shard count, never on the worker
-// count. A zero total means unbounded and yields all zeros.
-func shardBudgets(total, shards int) []int {
+// When caps (per-shard enumeration capacities) is non-nil, a second
+// fill pass reclaims the budget that small shards cannot absorb and
+// redistributes it — evenly, remainder to the front — over shards with
+// room, repeating until the budget is placed or every shard is full.
+// The sharded candidate count then equals min(total, Σcaps), exactly
+// the count a serial budgeted enumeration yields. The split depends
+// only on the shard count and capacities, never on the worker count.
+// A zero total means unbounded and yields all zeros.
+func shardBudgets(total, shards int, caps []int) []int {
 	out := make([]int, shards)
 	if total <= 0 {
 		return out
@@ -127,6 +154,45 @@ func shardBudgets(total, shards int) []int {
 			out[i]++
 		}
 	}
+	if caps == nil {
+		return out
+	}
+	surplus := 0
+	for i := range out {
+		if out[i] > caps[i] {
+			surplus += out[i] - caps[i]
+			out[i] = caps[i]
+		}
+	}
+	for surplus > 0 {
+		spare := 0
+		for i := range out {
+			if out[i] < caps[i] {
+				spare++
+			}
+		}
+		if spare == 0 {
+			break // the whole space is smaller than the budget
+		}
+		give, giveRem := surplus/spare, surplus%spare
+		seen := 0
+		for i := range out {
+			room := caps[i] - out[i]
+			if room == 0 {
+				continue
+			}
+			g := give
+			if seen < giveRem {
+				g++
+			}
+			seen++
+			if g > room {
+				g = room
+			}
+			out[i] += g
+			surplus -= g
+		}
+	}
 	return out
 }
 
@@ -134,7 +200,11 @@ func shardBudgets(total, shards int) []int {
 // result.
 func (c Campaign) Run() Stats {
 	shards := NumShards(c.Gen)
-	budgets := shardBudgets(c.Gen.MaxFuncs, shards)
+	var caps []int
+	if c.Gen.MaxFuncs > 0 {
+		caps = ShardCapacities(c.Gen, c.Gen.MaxFuncs)
+	}
+	budgets := shardBudgets(c.Gen.MaxFuncs, shards, caps)
 
 	type shardStats struct {
 		Stats
@@ -153,9 +223,38 @@ func (c Campaign) Run() Stats {
 			rcfg.Memo = nil
 		}
 
-		transforms := c.Transforms
-		if len(transforms) == 0 {
-			transforms = []NamedTransform{{Fn: c.Transform}}
+		// Each shard transform returns the pass names that changed the
+		// candidate (pipeline campaigns only; nil otherwise).
+		type shardTransform struct {
+			name string
+			fn   func(*ir.Func) []string
+		}
+		var transforms []shardTransform
+		var pm *passes.PassManager
+		switch {
+		case len(c.Transforms) > 0:
+			for _, tr := range c.Transforms {
+				fn := tr.Fn
+				transforms = append(transforms, shardTransform{name: tr.Name, fn: func(f *ir.Func) []string {
+					if fn != nil {
+						fn(f)
+					}
+					return nil
+				}})
+			}
+		case c.Pipeline != nil:
+			pm = c.Pipeline.Clone() // private per-shard stats, shared pass list
+			transforms = []shardTransform{{fn: func(f *ir.Func) []string {
+				_, fired := pm.RunFuncChanged(f, c.PipelineCfg)
+				return fired
+			}}}
+		default:
+			transforms = []shardTransform{{fn: func(f *ir.Func) []string {
+				if c.Transform != nil {
+					c.Transform(f)
+				}
+				return nil
+			}}}
 		}
 
 		var st shardStats
@@ -163,7 +262,7 @@ func (c Campaign) Run() Stats {
 		if len(c.Transforms) > 0 {
 			st.Passes = make([]PassTally, len(transforms))
 			for i, tr := range transforms {
-				st.Passes[i].Pass = tr.Name
+				st.Passes[i].Pass = tr.name
 			}
 		}
 		idx := 0
@@ -171,9 +270,7 @@ func (c Campaign) Run() Stats {
 			st.Funcs++
 			for ti, tr := range transforms {
 				work := ir.CloneFunc(f)
-				if tr.Fn != nil {
-					tr.Fn(work)
-				}
+				changedBy := tr.fn(work)
 				r := refine.Check(f, work, rcfg)
 				tally := &scratch
 				if st.Passes != nil {
@@ -188,8 +285,9 @@ func (c Campaign) Run() Stats {
 					st.Refuted++
 					tally.Refuted++
 					st.Findings = append(st.Findings, Finding{
-						Shard: s, Index: idx, Pass: tr.Name,
-						Src: f.String(), Tgt: work.String(),
+						Shard: s, Index: idx, Pass: tr.name,
+						ChangedBy: changedBy,
+						Src:       f.String(), Tgt: work.String(),
 						Result: r,
 					})
 				default:
@@ -204,6 +302,9 @@ func (c Campaign) Run() Stats {
 		if rcfg.Memo != nil {
 			st.MemoHits = rcfg.Memo.Hits()
 			st.MemoLookups = rcfg.Memo.Lookups()
+		}
+		if pm != nil {
+			st.Opt = pm.Stats
 		}
 		return st
 	})
@@ -229,6 +330,12 @@ func (c Campaign) Run() Stats {
 			out.Passes[i].Verified += p.Verified
 			out.Passes[i].Refuted += p.Refuted
 			out.Passes[i].Inconclusive += p.Inconclusive
+		}
+		if r.Opt != nil {
+			if out.Opt == nil {
+				out.Opt = passes.NewStats()
+			}
+			out.Opt.Merge(r.Opt)
 		}
 	}
 	return out

@@ -63,20 +63,74 @@ func TestShardsPartitionEnumeration(t *testing.T) {
 
 // TestShardBudgets checks the deterministic MaxFuncs split.
 func TestShardBudgets(t *testing.T) {
-	got := shardBudgets(10, 4)
+	got := shardBudgets(10, 4, nil)
 	want := []int{3, 3, 2, 2}
 	if !reflect.DeepEqual(got, want) {
-		t.Errorf("shardBudgets(10, 4) = %v, want %v", got, want)
+		t.Errorf("shardBudgets(10, 4, nil) = %v, want %v", got, want)
 	}
-	if got := shardBudgets(0, 4); !reflect.DeepEqual(got, []int{0, 0, 0, 0}) {
-		t.Errorf("shardBudgets(0, 4) = %v, want all zero", got)
+	if got := shardBudgets(0, 4, nil); !reflect.DeepEqual(got, []int{0, 0, 0, 0}) {
+		t.Errorf("shardBudgets(0, 4, nil) = %v, want all zero", got)
 	}
 	sum := 0
-	for _, b := range shardBudgets(17, 5) {
+	for _, b := range shardBudgets(17, 5, nil) {
 		sum += b
 	}
 	if sum != 17 {
-		t.Errorf("shardBudgets(17, 5) sums to %d", sum)
+		t.Errorf("shardBudgets(17, 5, nil) sums to %d", sum)
+	}
+
+	// With capacities, budget the small shards cannot absorb flows to
+	// shards with room: [3,3,2,2] clamps to [1,3,2,2] and the surplus
+	// of 2 spreads over the two shards with room, front first.
+	got = shardBudgets(10, 4, []int{1, 100, 2, 100})
+	want = []int{1, 4, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("shardBudgets(10, 4, caps) = %v, want %v", got, want)
+	}
+	// Roomy capacities must not perturb the historical split.
+	got = shardBudgets(10, 4, []int{100, 100, 100, 100})
+	want = []int{3, 3, 2, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("roomy caps changed the split: %v, want %v", got, want)
+	}
+	// A budget above the whole space fills every shard to capacity.
+	got = shardBudgets(100, 3, []int{4, 0, 7})
+	want = []int{4, 0, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("oversized budget: %v, want capacities %v", got, want)
+	}
+}
+
+// TestBudgetedShardingMatchesSerial is the ROADMAP open item: with
+// MaxFuncs set, the sharded candidate count must equal the serial one
+// even when some shards cannot absorb their even budget share. The
+// icmp-only shards below have zero capacity (a 1-instruction function
+// must produce a wide value to return), so without the second fill
+// pass most of the budget would evaporate.
+func TestBudgetedShardingMatchesSerial(t *testing.T) {
+	gen := DefaultConfig(1)
+	gen.AllowUndef = false
+	gen.AllowPoison = true
+	gen.Opcodes = []ir.Op{ir.OpICmp, ir.OpAdd}
+	gen.MaxFuncs = 20
+
+	serialGen := gen
+	serial, _ := Exhaustive(serialGen, func(*ir.Func) bool { return true })
+	if serial != gen.MaxFuncs {
+		t.Fatalf("serial enumeration yields %d funcs, want the budget %d", serial, gen.MaxFuncs)
+	}
+
+	caps := ShardCapacities(gen, gen.MaxFuncs)
+	if caps[0] != 0 {
+		t.Fatalf("icmp shard has capacity %d, want 0", caps[0])
+	}
+
+	st := Campaign{
+		Gen:    gen,
+		Refine: refine.DefaultConfig(core.FreezeOptions(), core.FreezeOptions()),
+	}.Run()
+	if st.Funcs != serial {
+		t.Fatalf("sharded budgeted campaign checked %d funcs, serial checks %d", st.Funcs, serial)
 	}
 }
 
@@ -123,6 +177,59 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 func summarize(s Stats) Stats {
 	s.Findings = nil // keep failure output readable; DeepEqual already compared them
 	return s
+}
+
+// TestCampaignPipelineDeterministicAcrossWorkers extends the
+// determinism guarantee to Pipeline campaigns with instrumentation on:
+// findings, verdict counters, and every merged pass statistic except
+// wall time must be identical for any worker count.
+func TestCampaignPipelineDeterministicAcrossWorkers(t *testing.T) {
+	build := func(workers int) Campaign {
+		gen := DefaultConfig(2)
+		gen.AllowUndef = false
+		gen.AllowPoison = true
+		gen.MaxFuncs = 600
+		return Campaign{
+			Gen:         gen,
+			Refine:      refine.DefaultConfig(core.FreezeOptions(), core.FreezeOptions()),
+			Pipeline:    passes.O2().Instrument(),
+			PipelineCfg: passes.DefaultFreezeConfig(),
+			Workers:     workers,
+		}
+	}
+	ref := build(1).Run()
+	if ref.Funcs == 0 {
+		t.Fatal("campaign validated no functions")
+	}
+	if ref.Opt == nil || ref.Opt.Funcs != ref.Funcs {
+		t.Fatalf("pipeline stats not merged: %+v", ref.Opt)
+	}
+
+	for _, workers := range []int{2, 8} {
+		got := build(workers).Run()
+		refCmp, gotCmp := ref, got
+		refCmp.Opt, gotCmp.Opt = nil, nil
+		if !reflect.DeepEqual(refCmp, gotCmp) {
+			t.Errorf("workers=%d diverges from serial:\nserial:   %+v\nparallel: %+v",
+				workers, summarize(refCmp), summarize(gotCmp))
+		}
+		if got.Opt.Funcs != ref.Opt.Funcs || got.Opt.FixpointIters != ref.Opt.FixpointIters ||
+			got.Opt.Converged != ref.Opt.Converged || got.Opt.Analysis != ref.Opt.Analysis {
+			t.Errorf("workers=%d: pass-manager counters diverge: %+v vs %+v",
+				workers, got.Opt, ref.Opt)
+		}
+		rs, gs := ref.Opt.PassStats(), got.Opt.PassStats()
+		if len(rs) != len(gs) {
+			t.Fatalf("workers=%d: %d pass stats vs %d", workers, len(gs), len(rs))
+		}
+		for i := range rs {
+			rs[i].Wall, gs[i].Wall = 0, 0
+			if rs[i] != gs[i] {
+				t.Errorf("workers=%d: pass %s stats diverge: %+v vs %+v",
+					workers, rs[i].Name, gs[i], rs[i])
+			}
+		}
+	}
 }
 
 // TestCampaignMemoInvariant: enabling or disabling the memo must not

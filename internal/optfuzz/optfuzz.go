@@ -109,6 +109,52 @@ func NumShards(cfg Config) int {
 	return len(cfg.templates())
 }
 
+// ShardCapacities returns, for each shard, how many functions that
+// shard can enumerate, saturated at limit (which must be positive —
+// callers pass the campaign budget, and capacities beyond it can never
+// matter). Only the template odometer is walked: each template tuple
+// contributes the product of its exact operand bounds, so the cost is
+// proportional to the number of tuples, not the number of functions.
+// The budgeted campaign uses this to hand budget that small shards
+// cannot absorb to shards that can, keeping the sharded candidate
+// count equal to the serial one.
+func ShardCapacities(cfg Config, limit int) []int {
+	caps := make([]int, NumShards(cfg))
+	if cfg.NumInstrs <= 0 {
+		return caps
+	}
+	e := newEnumerator(cfg)
+	for s := range caps {
+		e.tmpl[0] = s
+		for i := 1; i < cfg.NumInstrs; i++ {
+			e.tmpl[i] = 0
+		}
+		total := 0
+		for {
+			if e.prepare() {
+				n := 1
+				for _, b := range e.bounds {
+					n *= b
+					if n >= limit {
+						n = limit
+						break
+					}
+				}
+				total += n
+				if total >= limit {
+					total = limit
+					break
+				}
+			}
+			if !e.advanceTemplates(true) {
+				break
+			}
+		}
+		caps[s] = total
+	}
+	return caps
+}
+
 // Exhaustive enumerates every function of the configured shape and
 // calls emit for each. emit returning false stops enumeration early.
 // It returns the number of functions generated and whether the

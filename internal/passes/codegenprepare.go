@@ -21,8 +21,13 @@ type CodeGenPrepare struct{}
 // Name implements Pass.
 func (CodeGenPrepare) Name() string { return "codegenprepare" }
 
+func init() {
+	// Splits blocks for selects lowered to control flow.
+	Register(PassInfo{Name: "codegenprepare", New: func() Pass { return CodeGenPrepare{} }, Preserves: PreservesNone})
+}
+
 // Run implements Pass.
-func (CodeGenPrepare) Run(f *ir.Func, cfg *Config) bool {
+func (CodeGenPrepare) Run(f *ir.Func, cfg *Config, _ *AnalysisManager) bool {
 	changed := false
 	if cfg.FreezeAware {
 		for _, b := range f.Blocks {

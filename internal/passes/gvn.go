@@ -36,9 +36,14 @@ type GVN struct{}
 // Name implements Pass.
 func (GVN) Name() string { return "gvn" }
 
+func init() {
+	// GVN rewrites uses and erases duplicates; block edges are untouched.
+	Register(PassInfo{Name: "gvn", New: func() Pass { return GVN{} }, Preserves: PreservesAll})
+}
+
 // Run implements Pass.
-func (GVN) Run(f *ir.Func, cfg *Config) bool {
-	dt := analysis.NewDomTree(f)
+func (GVN) Run(f *ir.Func, cfg *Config, am *AnalysisManager) bool {
+	dt := am.DomTree()
 	g := &gvnState{
 		f:          f,
 		dt:         dt,

@@ -23,10 +23,15 @@ type IndVarWiden struct{}
 // Name implements Pass.
 func (IndVarWiden) Name() string { return "indvars" }
 
+func init() {
+	// Widening rewrites the IV arithmetic in place; blocks and edges
+	// are untouched.
+	Register(PassInfo{Name: "indvars", New: func() Pass { return IndVarWiden{} }, Preserves: PreservesAll})
+}
+
 // Run implements Pass.
-func (IndVarWiden) Run(f *ir.Func, cfg *Config) bool {
-	dt := analysis.NewDomTree(f)
-	li := analysis.FindLoops(f, dt)
+func (IndVarWiden) Run(f *ir.Func, cfg *Config, am *AnalysisManager) bool {
+	li := am.LoopInfo()
 	changed := false
 	for _, l := range li.Loops {
 		ph := l.Preheader(f)

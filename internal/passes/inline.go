@@ -20,6 +20,11 @@ type Inliner struct{}
 // Name implements Pass.
 func (Inliner) Name() string { return "inline" }
 
+func init() {
+	// Inlining splices callee blocks into the caller.
+	Register(PassInfo{Name: "inline", New: func() Pass { return Inliner{} }, Preserves: PreservesNone})
+}
+
 // InlineThreshold is the maximum callee cost that still inlines.
 const InlineThreshold = 30
 
@@ -53,7 +58,7 @@ func calleeCost(f *ir.Func, cfg *Config) (cost int, inlinable bool) {
 // Run implements Pass. The inliner is a module-level transformation;
 // running it on a single function inlines the calls *within* that
 // function.
-func (Inliner) Run(f *ir.Func, cfg *Config) bool {
+func (Inliner) Run(f *ir.Func, cfg *Config, _ *AnalysisManager) bool {
 	changed := false
 	for iter := 0; iter < 4; iter++ {
 		var call *ir.Instr

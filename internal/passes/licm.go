@@ -22,10 +22,16 @@ type LICM struct{}
 // Name implements Pass.
 func (LICM) Name() string { return "licm" }
 
+func init() {
+	// Hoisting moves instructions into an existing preheader; the CFG
+	// and loop structure are unchanged.
+	Register(PassInfo{Name: "licm", New: func() Pass { return LICM{} }, Preserves: PreservesAll})
+}
+
 // Run implements Pass.
-func (LICM) Run(f *ir.Func, cfg *Config) bool {
-	dt := analysis.NewDomTree(f)
-	li := analysis.FindLoops(f, dt)
+func (LICM) Run(f *ir.Func, cfg *Config, am *AnalysisManager) bool {
+	dt := am.DomTree()
+	li := am.LoopInfo()
 	changed := false
 	for _, l := range li.Loops {
 		ph := l.Preheader(f)

@@ -20,10 +20,14 @@ type LoopSink struct{}
 // Name implements Pass.
 func (LoopSink) Name() string { return "loopsink" }
 
+func init() {
+	// Sinking moves instructions between existing blocks; no CFG change.
+	Register(PassInfo{Name: "loopsink", New: func() Pass { return LoopSink{} }, Preserves: PreservesAll})
+}
+
 // Run implements Pass.
-func (LoopSink) Run(f *ir.Func, cfg *Config) bool {
-	dt := analysis.NewDomTree(f)
-	li := analysis.FindLoops(f, dt)
+func (LoopSink) Run(f *ir.Func, cfg *Config, am *AnalysisManager) bool {
+	li := am.LoopInfo()
 	changed := false
 	for _, l := range li.Loops {
 		ph := l.Preheader(f)

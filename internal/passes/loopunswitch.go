@@ -22,19 +22,26 @@ type LoopUnswitch struct{}
 // Name implements Pass.
 func (LoopUnswitch) Name() string { return "loopunswitch" }
 
+func init() {
+	// Unswitching clones whole loops and rewires the preheader.
+	Register(PassInfo{Name: "loopunswitch", New: func() Pass { return LoopUnswitch{} }, Preserves: PreservesNone})
+}
+
 // Run implements Pass.
-func (LoopUnswitch) Run(f *ir.Func, cfg *Config) bool {
+func (LoopUnswitch) Run(f *ir.Func, cfg *Config, am *AnalysisManager) bool {
 	changed := false
 	// Unswitch at most a few times per run to bound code growth.
 	for budget := 2; budget > 0; budget-- {
-		dt := analysis.NewDomTree(f)
-		li := analysis.FindLoops(f, dt)
+		li := am.LoopInfo()
 		done := false
 		for _, l := range li.Loops {
 			if unswitchLoop(f, l, cfg) {
 				changed = true
 				done = true
-				break // loop structures are stale; recompute
+				// Loop structures are stale; evict so the next round's
+				// LoopInfo query recomputes over the rewritten CFG.
+				am.InvalidateAll()
+				break
 			}
 		}
 		if !done {

@@ -17,8 +17,13 @@ type Mem2Reg struct{}
 // Name implements Pass.
 func (Mem2Reg) Name() string { return "mem2reg" }
 
+func init() {
+	// Phi insertion and load/store removal never touch block structure.
+	Register(PassInfo{Name: "mem2reg", New: func() Pass { return Mem2Reg{} }, Preserves: PreservesAll})
+}
+
 // Run implements Pass.
-func (Mem2Reg) Run(f *ir.Func, cfg *Config) bool {
+func (Mem2Reg) Run(f *ir.Func, cfg *Config, am *AnalysisManager) bool {
 	var allocas []*ir.Instr
 	for _, in := range f.Entry().Instrs() {
 		if in.Op == ir.OpAlloca && promotable(in) {
@@ -28,8 +33,8 @@ func (Mem2Reg) Run(f *ir.Func, cfg *Config) bool {
 	if len(allocas) == 0 {
 		return false
 	}
-	dt := analysis.NewDomTree(f)
-	df := dominanceFrontiers(f, dt)
+	dt := am.DomTree()
+	df := dominanceFrontiers(f, dt, am.Preds())
 	for _, a := range allocas {
 		promote(f, a, dt, df, cfg)
 	}
@@ -68,9 +73,8 @@ func promotable(a *ir.Instr) bool {
 
 // dominanceFrontiers computes DF(b) for every reachable block
 // (Cytron et al.'s algorithm over the dominator tree).
-func dominanceFrontiers(f *ir.Func, dt *analysis.DomTree) map[*ir.Block][]*ir.Block {
+func dominanceFrontiers(f *ir.Func, dt *analysis.DomTree, preds map[*ir.Block][]*ir.Block) map[*ir.Block][]*ir.Block {
 	df := map[*ir.Block][]*ir.Block{}
-	preds := analysis.Preds(f)
 	for _, b := range f.Blocks {
 		ps := preds[b]
 		if len(ps) < 2 {

@@ -22,8 +22,13 @@ type MigrateUndef struct{}
 // Name implements Pass.
 func (MigrateUndef) Name() string { return "migrate-undef" }
 
+func init() {
+	// Rewrites undef uses to freeze(poison) in place; no block changes.
+	Register(PassInfo{Name: "migrate-undef", New: func() Pass { return MigrateUndef{} }, Preserves: PreservesAll})
+}
+
 // Run implements Pass.
-func (MigrateUndef) Run(f *ir.Func, cfg *Config) bool {
+func (MigrateUndef) Run(f *ir.Func, cfg *Config, _ *AnalysisManager) bool {
 	changed := false
 	// Over-shift is the other semantic delta between the dialects: the
 	// legacy semantics gives undef (§2.3), the proposed one poison. A

@@ -1,4 +1,4 @@
-package passes
+package passes_test
 
 import (
 	"math/rand"
@@ -7,6 +7,7 @@ import (
 	"tameir/internal/core"
 	"tameir/internal/ir"
 	"tameir/internal/optfuzz"
+	"tameir/internal/passes"
 	"tameir/internal/refine"
 )
 
@@ -31,14 +32,14 @@ entry:
 }`
 	orig := ir.MustParseFunc(src)
 	work := ir.CloneFunc(orig)
-	cfg := &Config{Sem: core.LegacyOptions(core.BranchPoisonIsUB)}
-	if !RunPass(MigrateUndef{}, work, cfg) {
+	cfg := &passes.Config{Sem: core.LegacyOptions(core.BranchPoisonIsUB)}
+	if !passes.RunPass(passes.MigrateUndef{}, work, cfg) {
 		t.Fatal("migration did nothing")
 	}
 	if err := ir.Verify(work, ir.VerifyFreeze); err != nil {
 		t.Fatalf("migrated function not valid in the freeze dialect: %v\n%s", err, work)
 	}
-	if countOp(work, ir.OpFreeze) != 2 {
+	if countFreezes(work, ir.OpFreeze) != 2 {
 		t.Errorf("each undef use gets its own freeze:\n%s", work)
 	}
 	rcfg := refine.DefaultConfig(core.LegacyOptions(core.BranchPoisonIsUB), core.FreezeOptions())
@@ -63,8 +64,8 @@ m:
 }`
 	orig := ir.MustParseFunc(src)
 	work := ir.CloneFunc(orig)
-	cfg := &Config{Sem: core.LegacyOptions(core.BranchPoisonIsUB), VerifyAfterEach: true}
-	RunPass(MigrateUndef{}, work, cfg)
+	cfg := &passes.Config{Sem: core.LegacyOptions(core.BranchPoisonIsUB), VerifyAfterEach: true}
+	passes.RunPass(passes.MigrateUndef{}, work, cfg)
 	if err := ir.Verify(work, ir.VerifyFreeze); err != nil {
 		t.Fatalf("invalid after migration: %v\n%s", err, work)
 	}
@@ -87,13 +88,13 @@ func TestMigrateUndefCorpus(t *testing.T) {
 	}
 	legacy := core.LegacyOptions(core.BranchPoisonIsUB)
 	rcfg := refine.DefaultConfig(legacy, core.FreezeOptions())
-	pcfg := &Config{Sem: legacy, VerifyAfterEach: false}
+	pcfg := &passes.Config{Sem: legacy, VerifyAfterEach: false}
 	gen := optfuzz.DefaultConfig(2)
 	gen.MaxFuncs = 800
 	checked := 0
 	optfuzz.Exhaustive(gen, func(f *ir.Func) bool {
 		work := ir.CloneFunc(f)
-		RunPass(MigrateUndef{}, work, pcfg)
+		passes.RunPass(passes.MigrateUndef{}, work, pcfg)
 		if err := ir.Verify(work, ir.VerifyFreeze); err != nil {
 			t.Fatalf("invalid after migration: %v\n%s", err, work)
 		}
@@ -111,7 +112,7 @@ func TestMigrateUndefCorpus(t *testing.T) {
 	for i := 0; i < 150; i++ {
 		f := optfuzz.Random(rng, optfuzz.DefaultRandomConfig())
 		work := ir.CloneFunc(f)
-		RunPass(MigrateUndef{}, work, pcfg)
+		passes.RunPass(passes.MigrateUndef{}, work, pcfg)
 		if err := ir.Verify(work, ir.VerifyFreeze); err != nil {
 			t.Fatalf("invalid after migration: %v\n%s", err, work)
 		}
@@ -119,4 +120,14 @@ func TestMigrateUndefCorpus(t *testing.T) {
 			t.Fatalf("migration refuted on CFG function:\n%s\n→\n%s\n%s", f, work, r)
 		}
 	}
+}
+
+func countFreezes(f *ir.Func, op ir.Op) int {
+	n := 0
+	f.ForEachInstr(func(in *ir.Instr) {
+		if in.Op == op {
+			n++
+		}
+	})
+	return n
 }

@@ -12,10 +12,18 @@
 // The fixed variants are sound under the paper's Freeze semantics and
 // are validated against the refine package by the tests and by the
 // Section 6 experiment (cmd/tame-bench -exp validate).
+//
+// Passes are registered in a PassInfo registry (name, constructor,
+// preserved-analyses set) and run through a PassManager that caches
+// CFG/domtree/loopinfo per function in an analysis.Manager, invalidating
+// only what each pass's preserved-set doesn't cover, and optionally
+// records per-pass wall time and change counts into a Stats struct.
 package passes
 
 import (
 	"fmt"
+	"io"
+	"time"
 
 	"tameir/internal/analysis"
 	"tameir/internal/core"
@@ -80,101 +88,238 @@ func (cfg *Config) verifyMode() ir.VerifyMode {
 	return ir.VerifyLegacy
 }
 
+// AnalysisManager is the per-function analysis cache passes query for
+// CFG, dominator-tree, and loop information. The alias keeps pass files
+// from importing internal/analysis just for the signature.
+type AnalysisManager = analysis.Manager
+
 // Pass transforms one function.
 type Pass interface {
 	// Name is the pass's short identifier (e.g. "instcombine").
 	Name() string
-	// Run transforms f, returning whether anything changed.
-	Run(f *ir.Func, cfg *Config) bool
+	// Run transforms f, returning whether anything changed. Analyses
+	// are queried through am; a pass that mutates the IR mid-run past
+	// what its registered preserved-set admits must invalidate am
+	// itself before re-querying (see LoopUnswitch).
+	Run(f *ir.Func, cfg *Config, am *AnalysisManager) bool
 }
 
-// RunPass runs a single pass and optionally verifies the result.
+// RunPass runs a single pass with a throwaway analysis manager and
+// optionally verifies the result.
 func RunPass(p Pass, f *ir.Func, cfg *Config) bool {
-	changed := p.Run(f, cfg)
+	return RunPassWithManager(p, f, cfg, analysis.NewManager(f))
+}
+
+// RunPassWithManager runs a single pass against a caller-owned analysis
+// manager, verifying afterwards if configured and applying the pass's
+// registered preserved-analyses declaration to the cache.
+func RunPassWithManager(p Pass, f *ir.Func, cfg *Config, am *AnalysisManager) bool {
+	changed := p.Run(f, cfg, am)
 	if cfg.VerifyAfterEach {
-		if err := ir.Verify(f, cfg.verifyMode()); err != nil {
-			panic(fmt.Sprintf("passes: %s broke @%s: %v\n%s", p.Name(), f.Name(), err, f))
+		verifyAfter(p.Name(), f, cfg)
+	}
+	if changed {
+		am.Invalidate(Preserved(p.Name()))
+	}
+	return changed
+}
+
+func verifyAfter(pass string, f *ir.Func, cfg *Config) {
+	if err := ir.Verify(f, cfg.verifyMode()); err != nil {
+		panic(fmt.Sprintf("passes: %s broke @%s: %v\n%s", pass, f.Name(), err, f))
+	}
+	if err := analysis.VerifySSA(f); err != nil {
+		panic(fmt.Sprintf("passes: %s broke SSA dominance in @%s: %v\n%s", pass, f.Name(), err, f))
+	}
+}
+
+// PassManager runs an ordered list of passes over functions, caching
+// analyses between passes and optionally recording per-pass statistics.
+// The zero value plus a Passes list is ready to use; NewPassManager
+// builds one from registered pass names.
+type PassManager struct {
+	Passes []Pass
+	// MaxIters bounds the number of whole-pipeline repetitions (the
+	// pipeline repeats while passes report changes). Default 3.
+	MaxIters int
+	// NoAnalysisCache evicts every cached analysis after every pass,
+	// reproducing the historical recompute-per-pass behaviour. Exists
+	// for the cached-vs-uncached benchmark, not for production use.
+	NoAnalysisCache bool
+	// Stats, when non-nil, accumulates per-pass wall time, change
+	// counts, instruction deltas, and analysis cache counters.
+	Stats *Stats
+	// PrintChanged, when non-nil, receives an IR dump after every pass
+	// that reports a change.
+	PrintChanged io.Writer
+}
+
+// NewPassManager resolves names through the registry into a pass
+// manager, failing with the list of available passes on unknown names.
+func NewPassManager(names ...string) (*PassManager, error) {
+	pm := &PassManager{Passes: make([]Pass, 0, len(names))}
+	for _, n := range names {
+		p, err := LookupPass(n)
+		if err != nil {
+			return nil, err
 		}
-		if err := analysis.VerifySSA(f); err != nil {
-			panic(fmt.Sprintf("passes: %s broke SSA dominance in @%s: %v\n%s", p.Name(), f.Name(), err, f))
+		pm.Passes = append(pm.Passes, p)
+	}
+	return pm, nil
+}
+
+// Instrument attaches a fresh Stats collector and returns pm.
+func (pm *PassManager) Instrument() *PassManager {
+	pm.Stats = NewStats()
+	return pm
+}
+
+// Clone returns a copy of pm with its own Stats collector (when
+// instrumented), sharing the stateless pass list. The parallel campaign
+// clones the manager per shard so workers never share counters.
+func (pm *PassManager) Clone() *PassManager {
+	c := *pm
+	if pm.Stats != nil {
+		c.Stats = NewStats()
+	}
+	return &c
+}
+
+// Run applies the pipeline to every function of m, returning whether
+// anything changed.
+func (pm *PassManager) Run(m *ir.Module, cfg *Config) bool {
+	changed := false
+	for _, f := range m.Funcs {
+		if pm.RunFunc(f, cfg) {
+			changed = true
 		}
 	}
 	return changed
 }
 
-// Pipeline is an ordered list of passes with a fixpoint bound.
-type Pipeline struct {
-	Passes []Pass
-	// MaxIters bounds the number of whole-pipeline repetitions (the
-	// pipeline repeats while passes report changes). Default 3.
-	MaxIters int
-}
-
-// Run applies the pipeline to every function of m.
-func (pl *Pipeline) Run(m *ir.Module, cfg *Config) {
-	for _, f := range m.Funcs {
-		pl.RunFunc(f, cfg)
-	}
-}
-
 // RunFunc applies the pipeline to one function until fixpoint or the
-// iteration bound.
-func (pl *Pipeline) RunFunc(f *ir.Func, cfg *Config) {
-	iters := pl.MaxIters
+// iteration bound, returning whether anything changed.
+func (pm *PassManager) RunFunc(f *ir.Func, cfg *Config) bool {
+	return pm.runFixpoint(f, cfg, nil)
+}
+
+// RunFuncChanged is RunFunc plus attribution: it also returns the names
+// of the passes that reported a change, deduplicated, in first-fire
+// order. The campaign uses it to pin refinement failures on passes.
+func (pm *PassManager) RunFuncChanged(f *ir.Func, cfg *Config) (bool, []string) {
+	var fired []string
+	changed := pm.runFixpoint(f, cfg, &fired)
+	return changed, fired
+}
+
+func (pm *PassManager) runFixpoint(f *ir.Func, cfg *Config, fired *[]string) bool {
+	iters := pm.MaxIters
 	if iters == 0 {
 		iters = 3
 	}
+	am := analysis.NewManager(f)
+	any := false
+	converged := false
+	rounds := 0
 	for i := 0; i < iters; i++ {
+		rounds++
 		changed := false
-		for _, p := range pl.Passes {
-			if RunPass(p, f, cfg) {
+		for _, p := range pm.Passes {
+			if pm.runStep(p, f, cfg, am) {
 				changed = true
+				any = true
+				if fired != nil && !contains(*fired, p.Name()) {
+					*fired = append(*fired, p.Name())
+				}
 			}
 		}
 		if !changed {
-			return
+			converged = true
+			break
 		}
 	}
+	if pm.Stats != nil {
+		pm.Stats.noteFunc(rounds, converged)
+		pm.Stats.Analysis.Add(am.Stats())
+	}
+	return any
+}
+
+// RunOnce applies each pass once, pass-major (every function sees pass
+// k before any function sees pass k+1), with no fixpoint repetition.
+// This is the historical tame-opt behaviour for explicit -passes lists.
+func (pm *PassManager) RunOnce(m *ir.Module, cfg *Config) bool {
+	ams := make(map[*ir.Func]*AnalysisManager, len(m.Funcs))
+	for _, f := range m.Funcs {
+		ams[f] = analysis.NewManager(f)
+	}
+	changed := false
+	for _, p := range pm.Passes {
+		for _, f := range m.Funcs {
+			if pm.runStep(p, f, cfg, ams[f]) {
+				changed = true
+			}
+		}
+	}
+	if pm.Stats != nil {
+		for _, f := range m.Funcs {
+			pm.Stats.Funcs++
+			pm.Stats.Analysis.Add(ams[f].Stats())
+		}
+	}
+	return changed
+}
+
+// runStep runs one pass over one function: time it, run it, verify,
+// dump if changed, and evict whatever the pass's preserved-set doesn't
+// cover from the analysis cache.
+func (pm *PassManager) runStep(p Pass, f *ir.Func, cfg *Config, am *AnalysisManager) bool {
+	var before int
+	var start time.Time
+	if pm.Stats != nil {
+		before = f.NumInstrs()
+		start = time.Now()
+	}
+	changed := p.Run(f, cfg, am)
+	if pm.Stats != nil {
+		pm.Stats.record(p.Name(), changed, time.Since(start), before-f.NumInstrs())
+	}
+	if cfg.VerifyAfterEach {
+		verifyAfter(p.Name(), f, cfg)
+	}
+	if changed && pm.PrintChanged != nil {
+		fmt.Fprintf(pm.PrintChanged, "; IR Dump After %s on @%s\n%s\n", p.Name(), f.Name(), f)
+	}
+	if pm.NoAnalysisCache {
+		am.InvalidateAll()
+	} else if changed {
+		am.Invalidate(Preserved(p.Name()))
+	}
+	return changed
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
 }
 
 // O2 returns the standard optimization pipeline, approximating the
 // paper's "-O2 compiler flag" collection: canonicalize, scalarize
 // memory, peephole, CFG cleanup, value numbering, loop optimizations,
 // constant propagation, reassociation, and final cleanups.
-func O2() *Pipeline {
-	return &Pipeline{Passes: []Pass{
-		Mem2Reg{},
-		Inliner{},
-		InstSimplify{},
-		InstCombine{},
-		SimplifyCFG{},
-		SCCP{},
-		GVN{},
-		Reassociate{},
-		InstCombine{},
-		LICM{},
-		LoopUnswitch{},
-		IndVarWiden{},
-		JumpThreading{},
-		SimplifyCFG{},
-		InstCombine{},
-		ADCE{},
-		DCE{},
-		CodeGenPrepare{},
-		DCE{},
-	}}
-}
-
-// PassByName returns the pass with the given name, or nil.
-func PassByName(name string) Pass {
-	for _, p := range []Pass{
-		Mem2Reg{}, InstSimplify{}, InstCombine{}, SimplifyCFG{}, SCCP{},
-		GVN{}, Reassociate{}, LICM{}, LoopUnswitch{}, IndVarWiden{},
-		JumpThreading{}, DCE{}, ADCE{}, CodeGenPrepare{}, LoopSink{}, Inliner{}, MigrateUndef{},
-	} {
-		if p.Name() == name {
-			return p
-		}
+func O2() *PassManager {
+	pm, err := NewPassManager(
+		"mem2reg", "inline", "instsimplify", "instcombine", "simplifycfg",
+		"sccp", "gvn", "reassociate", "instcombine", "licm", "loopunswitch",
+		"indvars", "jumpthreading", "simplifycfg", "instcombine", "adce",
+		"dce", "codegenprepare", "dce",
+	)
+	if err != nil {
+		panic(err) // registry is populated by init; a miss is a programming error
 	}
-	return nil
+	return pm
 }

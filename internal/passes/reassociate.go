@@ -17,8 +17,13 @@ type Reassociate struct{}
 // Name implements Pass.
 func (Reassociate) Name() string { return "reassociate" }
 
+func init() {
+	// Rewrites arithmetic trees in place; no block changes.
+	Register(PassInfo{Name: "reassociate", New: func() Pass { return Reassociate{} }, Preserves: PreservesAll})
+}
+
 // Run implements Pass.
-func (Reassociate) Run(f *ir.Func, cfg *Config) bool {
+func (Reassociate) Run(f *ir.Func, cfg *Config, _ *AnalysisManager) bool {
 	changed := false
 	for _, b := range f.Blocks {
 		for _, in := range append([]*ir.Instr(nil), b.Instrs()...) {

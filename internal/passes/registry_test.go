@@ -1,0 +1,84 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 17 {
+		t.Errorf("registry holds %d passes, want 17: %v", len(names), names)
+	}
+	for _, n := range names {
+		pi, ok := Lookup(n)
+		if !ok {
+			t.Fatalf("Names lists %q but Lookup misses it", n)
+		}
+		if got := pi.New().Name(); got != n {
+			t.Errorf("constructor for %q builds pass named %q", n, got)
+		}
+	}
+	// Every O2 pipeline entry resolves.
+	for _, p := range O2().Passes {
+		if _, ok := Lookup(p.Name()); !ok {
+			t.Errorf("O2 pass %q not in registry", p.Name())
+		}
+	}
+}
+
+func TestLookupPassUnknownError(t *testing.T) {
+	_, err := LookupPass("licn")
+	if err == nil {
+		t.Fatal("no error for unknown pass")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown pass "licn"`) {
+		t.Errorf("error %q does not name the bad pass", msg)
+	}
+	for _, avail := range []string{"licm", "gvn", "simplifycfg"} {
+		if !strings.Contains(msg, avail) {
+			t.Errorf("error %q does not list available pass %q", msg, avail)
+		}
+	}
+	if PassByName("licn") != nil {
+		t.Error("PassByName returned a pass for an unknown name")
+	}
+	if PassByName("licm") == nil {
+		t.Error("PassByName misses a registered name")
+	}
+}
+
+func TestNewPassManagerUnknown(t *testing.T) {
+	if _, err := NewPassManager("gvn", "nope"); err == nil ||
+		!strings.Contains(err.Error(), `unknown pass "nope"`) {
+		t.Errorf("NewPassManager error = %v", err)
+	}
+	pm, err := NewPassManager("gvn", "dce")
+	if err != nil || len(pm.Passes) != 2 {
+		t.Errorf("NewPassManager(gvn, dce) = %v, %v", pm, err)
+	}
+}
+
+func TestPreservedDeclarations(t *testing.T) {
+	// Spot-check the contract the invalidation logic rests on.
+	for name, wantAll := range map[string]bool{
+		"instsimplify": true,
+		"instcombine":  true,
+		"gvn":          true,
+		"licm":         true,
+		"simplifycfg":  false,
+		"sccp":         false,
+		"dce":          false,
+		"inline":       false,
+		"loopunswitch": false,
+	} {
+		pi, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("missing %q", name)
+		}
+		if got := pi.Preserves == PreservesAll; got != wantAll {
+			t.Errorf("%s preserves %v, want all=%v", name, pi.Preserves, wantAll)
+		}
+	}
+}

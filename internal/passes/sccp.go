@@ -23,6 +23,11 @@ type SCCP struct{}
 // Name implements Pass.
 func (SCCP) Name() string { return "sccp" }
 
+func init() {
+	// Folds branches and deletes unreachable blocks.
+	Register(PassInfo{Name: "sccp", New: func() Pass { return SCCP{} }, Preserves: PreservesNone})
+}
+
 type latKind uint8
 
 const (
@@ -56,7 +61,7 @@ func (a latVal) meet(b latVal) latVal {
 }
 
 // Run implements Pass.
-func (SCCP) Run(f *ir.Func, cfg *Config) bool {
+func (SCCP) Run(f *ir.Func, cfg *Config, _ *AnalysisManager) bool {
 	s := &sccpState{
 		f:     f,
 		vals:  map[ir.Value]latVal{},

@@ -1,0 +1,141 @@
+package passes
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"tameir/internal/analysis"
+)
+
+// PassStat is the accumulated record for one pass name across every
+// function a PassManager ran it over.
+type PassStat struct {
+	Name    string
+	Runs    int
+	Changed int
+	Wall    time.Duration
+	// InstrsRemoved is the net instruction-count reduction attributed
+	// to the pass (negative when the pass grows functions, as the
+	// inliner does).
+	InstrsRemoved int
+}
+
+// Stats accumulates pass-manager instrumentation: per-pass timing and
+// change counts, fixpoint behaviour, and analysis-cache counters. One
+// Stats belongs to one PassManager; merge per-shard collectors with
+// Merge (deterministic given deterministic merge order).
+type Stats struct {
+	// Funcs is the number of functions run through the pipeline.
+	Funcs int
+	// FixpointIters is the total number of whole-pipeline rounds
+	// executed across all functions.
+	FixpointIters int
+	// Converged counts functions whose last round reported no change
+	// (i.e. a true fixpoint, not the MaxIters cap).
+	Converged int
+	// Analysis counts analysis computations and cache hits.
+	Analysis analysis.Stats
+
+	byName map[string]*PassStat
+	order  []string // first-recorded order: matches pipeline position
+}
+
+// NewStats returns an empty collector.
+func NewStats() *Stats {
+	return &Stats{byName: map[string]*PassStat{}}
+}
+
+func (s *Stats) record(name string, changed bool, wall time.Duration, instrDelta int) {
+	ps := s.byName[name]
+	if ps == nil {
+		ps = &PassStat{Name: name}
+		s.byName[name] = ps
+		s.order = append(s.order, name)
+	}
+	ps.Runs++
+	ps.Wall += wall
+	if changed {
+		ps.Changed++
+		ps.InstrsRemoved += instrDelta
+	}
+}
+
+func (s *Stats) noteFunc(rounds int, converged bool) {
+	s.Funcs++
+	s.FixpointIters += rounds
+	if converged {
+		s.Converged++
+	}
+}
+
+// PassStats returns a copy of the per-pass records in first-recorded
+// (pipeline) order.
+func (s *Stats) PassStats() []PassStat {
+	out := make([]PassStat, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, *s.byName[n])
+	}
+	return out
+}
+
+// Merge folds o into s. Pass order follows s first, then any names only
+// o saw, so merging per-shard collectors in shard order stays
+// deterministic.
+func (s *Stats) Merge(o *Stats) {
+	if o == nil {
+		return
+	}
+	s.Funcs += o.Funcs
+	s.FixpointIters += o.FixpointIters
+	s.Converged += o.Converged
+	s.Analysis.Add(o.Analysis)
+	for _, n := range o.order {
+		ops := o.byName[n]
+		ps := s.byName[n]
+		if ps == nil {
+			ps = &PassStat{Name: n}
+			s.byName[n] = ps
+			s.order = append(s.order, n)
+		}
+		ps.Runs += ops.Runs
+		ps.Changed += ops.Changed
+		ps.Wall += ops.Wall
+		ps.InstrsRemoved += ops.InstrsRemoved
+	}
+}
+
+// ReportTime writes an LLVM -time-passes-style table: per-pass wall
+// time, sorted descending, with the share of total pass time.
+func (s *Stats) ReportTime(w io.Writer) {
+	stats := s.PassStats()
+	sort.SliceStable(stats, func(i, j int) bool { return stats[i].Wall > stats[j].Wall })
+	var total time.Duration
+	for _, ps := range stats {
+		total += ps.Wall
+	}
+	fmt.Fprintf(w, "===- Pass execution timing (total %v) -===\n", total)
+	for _, ps := range stats {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(ps.Wall) / float64(total)
+		}
+		fmt.Fprintf(w, "  %10v  %5.1f%%  %s\n", ps.Wall, share, ps.Name)
+	}
+}
+
+// Report writes an LLVM -stats-style summary: per-pass run/change
+// counts and instruction deltas in pipeline order, then fixpoint and
+// analysis-cache counters.
+func (s *Stats) Report(w io.Writer) {
+	fmt.Fprintf(w, "===- Pass statistics -===\n")
+	fmt.Fprintf(w, "  %-16s %6s %8s %8s\n", "pass", "runs", "changed", "Δinstrs")
+	for _, ps := range s.PassStats() {
+		fmt.Fprintf(w, "  %-16s %6d %8d %8d\n", ps.Name, ps.Runs, ps.Changed, -ps.InstrsRemoved)
+	}
+	fmt.Fprintf(w, "  functions: %d  fixpoint iterations: %d  converged: %d\n",
+		s.Funcs, s.FixpointIters, s.Converged)
+	fmt.Fprintf(w, "  analyses computed: %d  cache hits: %d\n",
+		s.Analysis.Computes, s.Analysis.Hits)
+}
