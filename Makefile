@@ -18,14 +18,21 @@ test: vet
 race:
 	$(GO) test -race ./...
 
-# Micro-benchmarks for the fuzz-and-validate pipeline (E11): refine.Check
-# memo on/off, enumeration serial vs sharded, campaign throughput.
+# Micro-benchmarks for the fuzz-and-validate pipeline (E11) and the
+# execution engines (E12): refine.Check memo on/off, enumeration
+# serial vs sharded, campaign throughput, interpreted vs compiled.
 bench:
-	$(GO) test -bench 'BenchmarkRefineCheck|BenchmarkExhaustive|BenchmarkCampaign' -benchtime 1x -run '^$$' ./internal/bench/
+	$(GO) test -bench 'BenchmarkRefineCheck|BenchmarkExhaustive|BenchmarkCampaign|BenchmarkExecEngines' -benchtime 1x -run '^$$' ./internal/bench/
 
 check: build vet test race
 
-# CI entry point: full vet + test, then the race detector on the two
-# packages with worker pools and shared pass-manager state.
+# CI entry point: full vet + test, then the race detector on the
+# concurrency-bearing surfaces — the worker-pool packages, the shared
+# cross-shard memo, and the compiled engine's program cache and frame
+# pool — and finally a quick E12 twin-row smoke, which exits nonzero
+# if the compiled engine's behaviour ever diverges from the
+# interpreter's.
 ci: vet test
 	$(GO) test -race ./internal/passes ./internal/optfuzz
+	$(GO) test -race -run 'Memo|Compiled|ProgramShared|ExecTwins' ./internal/refine ./internal/core ./internal/bench
+	$(GO) run ./cmd/tame-bench -exp exec -quick

@@ -8,6 +8,7 @@
 //	-exp runtime      E7: §7.2 run time (Figure 6)
 //	-exp ablation     freeze-aware vs freeze-blind optimizations
 //	-exp pipeline     E11: parallel fuzz-and-validate throughput
+//	-exp exec         E12: interpreted vs compiled execution engine
 //	-exp all          everything
 //
 // E4–E7 share one measurement sweep; the report prints all four
@@ -26,21 +27,25 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: validate, compiletime, memory, codesize, runtime, ablation, pipeline, all")
+	exp := flag.String("exp", "all", "experiment: validate, compiletime, memory, codesize, runtime, ablation, pipeline, exec, all")
 	reps := flag.Int("reps", 3, "compile repetitions for wall-time medians")
 	valInstrs := flag.Int("validate-instrs", 2, "instructions per generated function (E3)")
 	valMax := flag.Int("validate-max", 3000, "max generated functions per pass (E3)")
 	pipeWorkers := flag.String("pipeline-workers", "1,2,4", "comma-separated worker counts (E11)")
-	jsonPath := flag.String("json", "", "also write E11 rows as JSON to this file")
+	execInstrs := flag.Int("exec-instrs", 3, "instructions per generated function (E12)")
+	execMax := flag.Int("exec-max", 300, "max generated functions per semantics (E12)")
+	quick := flag.Bool("quick", false, "shrink the exec experiment for CI smoke runs")
+	jsonPath := flag.String("json", "", "also write the experiment's rows as JSON to this file (E11, or E12 with -exp exec)")
 	flag.Parse()
 
 	wantMeasure := false
 	wantValidate := false
 	wantAblation := false
 	wantPipeline := false
+	wantExec := false
 	switch *exp {
 	case "all":
-		wantMeasure, wantValidate, wantAblation, wantPipeline = true, true, true, true
+		wantMeasure, wantValidate, wantAblation, wantPipeline, wantExec = true, true, true, true, true
 	case "validate":
 		wantValidate = true
 	case "compiletime", "memory", "codesize", "runtime":
@@ -49,6 +54,8 @@ func main() {
 		wantAblation = true
 	case "pipeline":
 		wantPipeline = true
+	case "exec":
+		wantExec = true
 	default:
 		fmt.Fprintf(os.Stderr, "tame-bench: unknown experiment %q\n", *exp)
 		os.Exit(1)
@@ -95,6 +102,32 @@ func main() {
 		}
 		bench.ReportPipeline(os.Stdout, "fixed passes, -O2, freeze semantics", rows)
 		if *jsonPath != "" {
+			out, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "tame-bench: wrote %s\n", *jsonPath)
+		}
+		fmt.Println()
+	}
+
+	if wantExec {
+		fmt.Println("# E12: compile-once execution engine, interpreted vs compiled twins")
+		instrs, max := *execInstrs, *execMax
+		if *quick {
+			instrs, max = 2, 60
+		}
+		rows := bench.MeasureExec(instrs, max)
+		bench.ReportExec(os.Stdout, rows)
+		for _, r := range rows {
+			if r.Engine == "compiled" && !r.TwinOK {
+				fatal(fmt.Errorf("exec twin mismatch: %s compiled row diverges from interpreted row", r.Mode))
+			}
+		}
+		if *jsonPath != "" && *exp == "exec" {
 			out, err := json.MarshalIndent(rows, "", "  ")
 			if err != nil {
 				fatal(err)

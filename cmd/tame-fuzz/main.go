@@ -139,6 +139,14 @@ func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, 
 		st.Funcs, elapsed.Round(time.Millisecond), perSec, workers,
 		st.Verified, st.Refuted, st.Inconclusive,
 		st.MemoHits, st.MemoLookups, 100*st.HitRate())
+	if optStats && !noMemo {
+		// The memo is shared across all worker shards, so the hit rate
+		// above includes cross-shard hits: one worker's derivation
+		// serves every other worker's structurally identical candidate.
+		fmt.Fprintf(os.Stderr,
+			"tame-fuzz: shared memo across %d workers: %d sets resident, %d evictions (second-chance clock)\n",
+			workers, st.MemoSets, st.MemoEvictions)
+	}
 	if optStats && st.Opt != nil {
 		st.Opt.ReportTime(os.Stderr)
 		st.Opt.Report(os.Stderr)

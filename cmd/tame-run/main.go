@@ -27,6 +27,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "oracle seed for randomized nondeterminism")
 	enumerate := flag.Bool("enumerate", false, "enumerate all behaviours (small types only)")
 	trace := flag.Bool("trace", false, "print every executed instruction")
+	interp := flag.Bool("interp", false, "force the tree-walking interpreter instead of the compiled engine")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fatal(fmt.Errorf("usage: tame-run [flags] file [args...]"))
@@ -79,6 +80,7 @@ func main() {
 
 	if *enumerate {
 		cfg := refine.DefaultConfig(opts, opts)
+		cfg.Interpret = *interp
 		set := refine.Behaviors(fn, args, opts, cfg)
 		fmt.Printf("behaviours: %s\n", set)
 		return
@@ -100,7 +102,12 @@ func main() {
 			}
 		}
 	}
-	out := env.Run(fn, args)
+	var out core.Outcome
+	if *interp {
+		out = env.RunInterp(fn, args)
+	} else {
+		out = env.Run(fn, args)
+	}
 	fmt.Println(out)
 }
 

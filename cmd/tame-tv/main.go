@@ -30,6 +30,7 @@ func main() {
 	passList := flag.String("pass", "", "run these passes on the input and validate the result")
 	unsound := flag.Bool("unsound", false, "use the historical pass variants")
 	workers := flag.Int("workers", 1, "worker pool size (0 = one per CPU, 1 = serial)")
+	interp := flag.Bool("interp", false, "force the tree-walking interpreter instead of the compiled engine")
 	flag.Parse()
 
 	var opts core.Options
@@ -42,6 +43,7 @@ func main() {
 		fatal(fmt.Errorf("unknown semantics %q", *sem))
 	}
 	rcfg := refine.DefaultConfig(opts, opts)
+	rcfg.Interpret = *interp
 
 	// check runs one src→tgt validation with worker-private checker
 	// state. Each call gets its own oracle so concurrent checks never

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"time"
+
+	"tameir/internal/core"
+	"tameir/internal/ir"
+	"tameir/internal/optfuzz"
+	"tameir/internal/passes"
+	"tameir/internal/refine"
+)
+
+// ExecRow is one line of the execution-engine experiment: a §6
+// validation sweep run single-threaded on one engine. Rows come in
+// interpreted/compiled twins over identical pre-built (src, tgt)
+// pairs; the twin is valid only if both engines produce byte-identical
+// behaviour sets and verdicts, which BehaviorHash certifies.
+type ExecRow struct {
+	Mode   string // "freeze" or "legacy"
+	Engine string // "interpreted" or "compiled"
+
+	Funcs        int
+	Checks       int
+	Verified     int
+	Refuted      int
+	Inconclusive int
+
+	// Execs counts individual function executions (each one oracle
+	// resolution of one input), the unit the engines actually compete
+	// on.
+	Execs       uint64
+	Elapsed     time.Duration
+	ChecksPerSec float64
+	ExecsPerSec  float64
+
+	// BehaviorHash is an FNV-64a digest over every behaviour set (in
+	// deterministic check order) plus every verdict. Twin rows must
+	// agree exactly.
+	BehaviorHash string
+
+	// Speedup (compiled rows only) is the interpreted twin's elapsed
+	// time over this row's. TwinOK (compiled rows only) is whether the
+	// hashes and verdict counters match the interpreted twin.
+	Speedup float64 `json:",omitempty"`
+	TwinOK  bool
+}
+
+// execPair is one pre-built validation problem. Building pairs happens
+// once, outside the timed region, so the twin rows measure execution
+// and nothing else — and both engines see pointer-identical IR.
+type execPair struct {
+	src, tgt *ir.Func
+}
+
+// buildExecPairs generates the §6 candidate set for one semantics and
+// transforms a private clone of each candidate with InstCombine.
+func buildExecPairs(fixed bool, numInstrs, maxFuncs int) ([]execPair, core.Options) {
+	var sem core.Options
+	var pcfg *passes.Config
+	gen := optfuzz.DefaultConfig(numInstrs)
+	gen.EnumAttrs = true
+	gen.MaxFuncs = maxFuncs
+	if fixed {
+		sem = core.FreezeOptions()
+		pcfg = passes.DefaultFreezeConfig()
+		gen.AllowUndef = false
+		gen.AllowPoison = true
+	} else {
+		sem = core.LegacyOptions(core.BranchPoisonNondet)
+		pcfg = passes.DefaultLegacyConfig()
+		gen.AllowUndef = true
+	}
+	var pairs []execPair
+	optfuzz.Exhaustive(gen, func(f *ir.Func) bool {
+		src := ir.CloneFunc(f)
+		tgt := ir.CloneFunc(f)
+		passes.RunPass(passes.InstCombine{}, tgt, pcfg)
+		pairs = append(pairs, execPair{src: src, tgt: tgt})
+		return true
+	})
+	return pairs, sem
+}
+
+// measureExecEngine sweeps every pair through refine.Check on one
+// engine, memoization off, and digests everything observable. The
+// sweep runs reps times — the freeze campaign is cheap enough that a
+// single sweep finishes in a few milliseconds, too short to time
+// reliably — with every rep timed separately and doing identical work
+// (no caching across reps). Elapsed is the median rep scaled by reps,
+// the same bursty-load defense the E4–E7 harness uses, so one noisy
+// rep cannot skew the twin ratio.
+func measureExecEngine(pairs []execPair, sem core.Options, mode, engine string, interpret bool, reps int) ExecRow {
+	row := ExecRow{Mode: mode, Engine: engine, Funcs: len(pairs)}
+	cfg := refine.DefaultConfig(sem, sem)
+	cfg.Interpret = interpret
+	cfg.Oracle = core.NewEnumOracle(cfg.MaxChoices, cfg.MaxFanout)
+	cfg.ExecCount = &row.Execs
+	h := fnv.New64a()
+	var buf [8]byte
+	cfg.BehaviorHook = func(set refine.BehaviorSet) {
+		// Digest the set's components directly instead of rendering
+		// set.String(): the order-independent combine over Rets hashes
+		// the same information as the sorted render, without the hook
+		// dominating the very profile the twin rows are measuring.
+		binary.LittleEndian.PutUint64(buf[:], digestBehaviorSet(set))
+		h.Write(buf[:])
+	}
+	elapsed := make([]time.Duration, reps)
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for _, p := range pairs {
+			r := refine.Check(p.src, p.tgt, cfg)
+			h.Write([]byte{byte(r.Status)})
+			row.Checks++
+			switch r.Status {
+			case refine.Verified:
+				row.Verified++
+			case refine.Refuted:
+				row.Refuted++
+			default:
+				row.Inconclusive++
+			}
+		}
+		elapsed[rep] = time.Since(start)
+	}
+	sort.Slice(elapsed, func(i, j int) bool { return elapsed[i] < elapsed[j] })
+	row.Elapsed = elapsed[len(elapsed)/2] * time.Duration(reps)
+	row.BehaviorHash = fmt.Sprintf("%016x", h.Sum64())
+	if s := row.Elapsed.Seconds(); s > 0 {
+		row.ChecksPerSec = float64(row.Checks) / s
+		row.ExecsPerSec = float64(row.Execs) / s
+	}
+	return row
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(s string) uint64 {
+	d := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		d ^= uint64(s[i])
+		d *= fnvPrime64
+	}
+	return d
+}
+
+// digestBehaviorSet folds a behaviour set into 64 bits: flag bits, the
+// XOR of the per-return-value hashes (Rets is a set, so the combine
+// must be order-independent), and the set size. Two sets digest equal
+// iff they hold the same flags and return values — the same predicate
+// comparing sorted String renders would certify.
+func digestBehaviorSet(set refine.BehaviorSet) uint64 {
+	var flags uint64
+	if set.UB {
+		flags |= 1
+	}
+	if set.Poison {
+		flags |= 2
+	}
+	if set.Undef {
+		flags |= 4
+	}
+	if set.Void {
+		flags |= 8
+	}
+	if set.Incomplete {
+		flags |= 16
+	}
+	var rets uint64
+	for k := range set.Rets {
+		rets ^= fnvString(k)
+	}
+	d := uint64(fnvOffset64)
+	d ^= flags
+	d *= fnvPrime64
+	d ^= rets
+	d *= fnvPrime64
+	d ^= uint64(len(set.Rets))
+	d *= fnvPrime64
+	return d
+}
+
+// MeasureExec runs the interpreted-vs-compiled twin experiment over
+// both semantics. Single-threaded by design: the row pairs isolate
+// the engine, not the worker pool (E11 covers scaling).
+func MeasureExec(numInstrs, maxFuncs int) []ExecRow {
+	var rows []ExecRow
+	for _, m := range []struct {
+		fixed bool
+		name  string
+		reps  int
+	}{{true, "freeze", 5}, {false, "legacy", 1}} {
+		pairs, sem := buildExecPairs(m.fixed, numInstrs, maxFuncs)
+		interp := measureExecEngine(pairs, sem, m.name, "interpreted", true, m.reps)
+		comp := measureExecEngine(pairs, sem, m.name, "compiled", false, m.reps)
+		comp.TwinOK = comp.BehaviorHash == interp.BehaviorHash &&
+			comp.Execs == interp.Execs &&
+			comp.Verified == interp.Verified &&
+			comp.Refuted == interp.Refuted &&
+			comp.Inconclusive == interp.Inconclusive
+		if comp.Elapsed > 0 {
+			comp.Speedup = float64(interp.Elapsed) / float64(comp.Elapsed)
+		}
+		rows = append(rows, interp, comp)
+	}
+	return rows
+}
+
+// ReportExec renders the twin-row table.
+func ReportExec(w io.Writer, rows []ExecRow) {
+	fmt.Fprintln(w, "== E12: execution engine (interpreted vs compiled, single thread) ==")
+	fmt.Fprintf(w, "%-7s %-12s %7s %8s %9s %10s %12s %17s %8s %5s\n",
+		"mode", "engine", "funcs", "checks", "refuted", "execs", "elapsed", "behavior-hash", "speedup", "twin")
+	for _, r := range rows {
+		speedup, twin := "", ""
+		if r.Engine == "compiled" {
+			speedup = fmt.Sprintf("%.2fx", r.Speedup)
+			twin = "FAIL"
+			if r.TwinOK {
+				twin = "ok"
+			}
+		}
+		fmt.Fprintf(w, "%-7s %-12s %7d %8d %9d %10d %12s %17s %8s %5s\n",
+			r.Mode, r.Engine, r.Funcs, r.Checks, r.Refuted, r.Execs,
+			r.Elapsed.Round(time.Millisecond), r.BehaviorHash, speedup, twin)
+	}
+	fmt.Fprintf(w, "execs are identical within a twin because both engines drive the same oracle enumeration;\n")
+	fmt.Fprintf(w, "behavior-hash digests every behaviour set and verdict, so equal hashes mean byte-identical results.\n")
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExecTwinsAgree is the quick version of the E12 experiment: both
+// engines must produce byte-identical behaviour digests and verdicts
+// over the same pre-built pairs, in both semantics.
+func TestExecTwinsAgree(t *testing.T) {
+	rows := MeasureExec(2, 40)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		interp, comp := rows[i], rows[i+1]
+		if interp.Engine != "interpreted" || comp.Engine != "compiled" || interp.Mode != comp.Mode {
+			t.Fatalf("row pairing broken: %+v / %+v", interp, comp)
+		}
+		if comp.BehaviorHash != interp.BehaviorHash {
+			t.Errorf("%s: behaviour hashes diverge: interpreted %s, compiled %s",
+				interp.Mode, interp.BehaviorHash, comp.BehaviorHash)
+		}
+		if comp.Execs != interp.Execs {
+			t.Errorf("%s: execution counts diverge: interpreted %d, compiled %d",
+				interp.Mode, interp.Execs, comp.Execs)
+		}
+		if !comp.TwinOK {
+			t.Errorf("%s: TwinOK is false", interp.Mode)
+		}
+		if interp.Checks == 0 || interp.Execs == 0 {
+			t.Errorf("%s: empty experiment (%d checks, %d execs)", interp.Mode, interp.Checks, interp.Execs)
+		}
+	}
+
+	var sb strings.Builder
+	ReportExec(&sb, rows)
+	for _, want := range []string{"behavior-hash", "compiled", "interpreted"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// BenchmarkExecEngines reports per-engine throughput on the §6
+// workload; the ratio is the compile-once speedup.
+func BenchmarkExecEngines(b *testing.B) {
+	for _, engine := range []struct {
+		name      string
+		interpret bool
+	}{{"interpreted", true}, {"compiled", false}} {
+		b.Run(engine.name, func(b *testing.B) {
+			pairs, sem := buildExecPairs(false, 3, 100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := measureExecEngine(pairs, sem, "legacy", engine.name, engine.interpret, 1)
+				b.ReportMetric(r.ExecsPerSec, "execs/sec")
+			}
+		})
+	}
+}

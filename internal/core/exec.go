@@ -64,6 +64,18 @@ type Env struct {
 	fuel       int
 	depth      int
 	globalAddr map[*ir.Global]uint32
+	// arena is the compiled engine's per-execution lane allocator (see
+	// Env.newLanes); the tree-walking interpreter never touches it.
+	arena []Scalar
+	// callBuf is the compiled call step's argument scratch. A call's
+	// argument slice is dead as soon as the callee frame copies the
+	// params into its registers, so one buffer per env serves every
+	// call site at every depth.
+	callBuf []Value
+	// retOut is the compiled ret step's outcome scratch: execFrame
+	// copies the pointed-to Outcome out by value before any other step
+	// can run, so one slot per env serves every ret at every depth.
+	retOut Outcome
 	// Steps counts executed instructions (exposed for the evaluation
 	// harness's "run time" proxy when not using the VX64 simulator).
 	Steps int
@@ -82,25 +94,55 @@ func NewEnv(mod *ir.Module, o Oracle, opts Options) (*Env, error) {
 		fuel:       opts.Fuel,
 		globalAddr: map[*ir.Global]uint32{},
 	}
-	if mod != nil {
-		for _, g := range mod.Globals {
-			addr, err := env.Mem.Allocate(g.Size, opts.Mode)
-			if err != nil {
-				return nil, err
-			}
-			if len(g.Init) > 0 {
-				if err := env.Mem.StoreBytes(addr, g.Init); err != nil {
-					return nil, err
-				}
-			}
-			env.globalAddr[g] = addr
-		}
+	if err := env.initGlobals(); err != nil {
+		return nil, err
 	}
 	return env, nil
 }
 
-// Run executes fn on the given arguments and returns the outcome.
+// initGlobals allocates and initializes the module's globals in module
+// order. It is idempotent given a reset memory: the bump allocator
+// assigns the same addresses every time.
+func (env *Env) initGlobals() error {
+	if env.Mod == nil {
+		return nil
+	}
+	if env.globalAddr == nil {
+		env.globalAddr = make(map[*ir.Global]uint32, len(env.Mod.Globals))
+	}
+	for _, g := range env.Mod.Globals {
+		addr, err := env.Mem.Allocate(g.Size, env.Opts.Mode)
+		if err != nil {
+			return err
+		}
+		if len(g.Init) > 0 {
+			if err := env.Mem.StoreBytes(addr, g.Init); err != nil {
+				return err
+			}
+		}
+		env.globalAddr[g] = addr
+	}
+	return nil
+}
+
+// Run executes fn on the given arguments and returns the outcome. It
+// runs the compiled engine, compiling fn on first use and caching the
+// Program per (function, options); the env's fuel, memory and globals
+// are used as-is, exactly like the historical interpreter loop (see
+// RunInterp, which this is checked against).
 func (env *Env) Run(fn *ir.Func, args []Value) Outcome {
+	p := sharedPrograms.getVerified(fn, env.Opts)
+	if out := p.checkArgs(args); out != nil {
+		return *out
+	}
+	return p.invoke(env, args)
+}
+
+// RunInterp executes fn on the tree-walking interpreter. It is the
+// reference semantics the compiled engine is differentially tested
+// against (TestCompiledMatchesInterpreter) and the baseline engine of
+// the tame-bench exec experiment.
+func (env *Env) RunInterp(fn *ir.Func, args []Value) Outcome {
 	if len(args) != len(fn.Params) {
 		return Outcome{Kind: OutError, Msg: fmt.Sprintf("arity: got %d args, want %d", len(args), len(fn.Params))}
 	}
@@ -112,14 +154,22 @@ func (env *Env) Run(fn *ir.Func, args []Value) Outcome {
 	return env.call(fn, args)
 }
 
-// Exec is a convenience wrapper: build an Env over fn's module and run
-// it once.
+// Exec is a convenience wrapper: run fn once through the compiled
+// engine (compile-on-first-use, cached per (function, options)) with a
+// fresh execution state.
 func Exec(fn *ir.Func, args []Value, o Oracle, opts Options) Outcome {
+	p := sharedPrograms.getVerified(fn, opts)
+	return p.Exec(args, o)
+}
+
+// Interpret is Exec on the historical tree-walking interpreter: build
+// an Env over fn's module and run it once.
+func Interpret(fn *ir.Func, args []Value, o Oracle, opts Options) Outcome {
 	env, err := NewEnv(fn.Parent(), o, opts)
 	if err != nil {
 		return Outcome{Kind: OutError, Msg: err.Error()}
 	}
-	return env.Run(fn, args)
+	return env.RunInterp(fn, args)
 }
 
 // frame is one activation record.

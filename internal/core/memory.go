@@ -66,6 +66,10 @@ type page struct {
 type Memory struct {
 	pages map[uint32]*page
 	brk   uint32
+	// free holds pages harvested by Reset for reuse, so a long-lived
+	// Memory (an Executor's) stops allocating once its working set
+	// peaks.
+	free []*page
 }
 
 // NewMemory returns an empty memory whose first allocation starts at a
@@ -74,11 +78,28 @@ func NewMemory() *Memory {
 	return &Memory{pages: map[uint32]*page{}, brk: 1 << pageBits}
 }
 
+// Reset returns the memory to its initial empty state — same starting
+// break, no allocated bytes — keeping the backing pages on a freelist
+// for reuse by subsequent allocations.
+func (m *Memory) Reset() {
+	for idx, p := range m.pages {
+		m.free = append(m.free, p)
+		delete(m.pages, idx)
+	}
+	m.brk = 1 << pageBits
+}
+
 func (m *Memory) pageFor(addr uint32) *page {
 	idx := addr >> pageBits
 	p := m.pages[idx]
 	if p == nil {
-		p = &page{}
+		if n := len(m.free); n > 0 {
+			p = m.free[n-1]
+			m.free = m.free[:n-1]
+			*p = page{}
+		} else {
+			p = &page{}
+		}
 		m.pages[idx] = p
 	}
 	return p

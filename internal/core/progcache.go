@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync"
+
+	"tameir/internal/ir"
+)
+
+// DefaultProgramCacheSize bounds a ProgramCache; compiled programs for
+// §6-sized candidates are a few KB each.
+const DefaultProgramCacheSize = 256
+
+// progKey identifies a compilation: the function identity plus the
+// normalized semantics. Options is all scalars, so the key is
+// comparable.
+type progKey struct {
+	fn   *ir.Func
+	opts Options
+}
+
+type progEntry struct {
+	prog *Program
+	// text is the function's canonical form at compile time; the
+	// verified lookup path (used by the Exec/Env.Run compatibility
+	// wrappers) re-prints the function and recompiles on mismatch.
+	text string
+}
+
+// ProgramCache is a bounded, concurrency-safe cache of compiled
+// programs keyed by (*ir.Func, Options).
+//
+// No-mutation contract: Get trusts the function pointer — it does not
+// detect mutation. Callers that transform IR must either compile the
+// post-transform function under a fresh *ir.Func (the optfuzz pipeline
+// clones every candidate before transforming, so this holds by
+// construction) or drop the cache. The package-level Exec and Env.Run
+// wrappers instead use the verifying path, which compares the
+// function's printed form and recompiles when it changed; that keeps
+// the legacy API safe for run-mutate-run test patterns at the cost of
+// one fn.String() per call.
+type ProgramCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[progKey]progEntry
+	order   []progKey // FIFO eviction ring
+	next    int
+}
+
+// NewProgramCache returns a cache bounded to max programs (0 or
+// negative: DefaultProgramCacheSize).
+func NewProgramCache(max int) *ProgramCache {
+	if max <= 0 {
+		max = DefaultProgramCacheSize
+	}
+	return &ProgramCache{max: max, entries: make(map[progKey]progEntry)}
+}
+
+// Get returns the compiled program for (fn, opts), compiling and
+// caching it on first use.
+func (c *ProgramCache) Get(fn *ir.Func, opts Options) *Program {
+	return c.get(fn, opts, false)
+}
+
+// getVerified is Get plus staleness detection by canonical text.
+func (c *ProgramCache) getVerified(fn *ir.Func, opts Options) *Program {
+	return c.get(fn, opts, true)
+}
+
+func (c *ProgramCache) get(fn *ir.Func, opts Options, verify bool) *Program {
+	opts = opts.normalized()
+	k := progKey{fn: fn, opts: opts}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		if !verify {
+			return e.prog
+		}
+		text := fn.String()
+		if text == e.text {
+			return e.prog
+		}
+		// The function mutated since compilation: recompile in place
+		// (the slot in the eviction ring stays valid).
+		e = progEntry{prog: Compile(fn, opts), text: text}
+		c.entries[k] = e
+		return e.prog
+	}
+	e := progEntry{prog: Compile(fn, opts)}
+	if verify {
+		e.text = fn.String()
+	}
+	if len(c.entries) >= c.max {
+		victim := c.order[c.next]
+		delete(c.entries, victim)
+		c.order[c.next] = k
+		c.next = (c.next + 1) % len(c.order)
+	} else {
+		c.order = append(c.order, k)
+	}
+	c.entries[k] = e
+	return e.prog
+}
+
+// Len returns the number of cached programs.
+func (c *ProgramCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// sharedPrograms backs the Exec and Env.Run compatibility wrappers.
+var sharedPrograms = NewProgramCache(0)

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"tameir/internal/ir"
@@ -166,25 +167,35 @@ func (v Value) Equal(w Value) bool {
 }
 
 // String renders the value for diagnostics, e.g. "i32 7",
-// "<2 x i8> <3, poison>".
+// "<2 x i8> <3, poison>". It doubles as the behaviour-set key, so it
+// is on the validator's hot path and avoids the fmt machinery.
 func (v Value) String() string {
-	lane := func(s Scalar) string {
+	var b strings.Builder
+	writeLane := func(s Scalar) {
 		switch s.Kind {
 		case PoisonVal:
-			return "poison"
+			b.WriteString("poison")
 		case UndefVal:
-			return "undef"
+			b.WriteString("undef")
+		default:
+			b.WriteString(strconv.FormatUint(s.Bits, 10))
 		}
-		return fmt.Sprintf("%d", s.Bits)
 	}
+	b.WriteString(v.Ty.String())
+	b.WriteByte(' ')
 	if len(v.Lanes) == 1 {
-		return fmt.Sprintf("%s %s", v.Ty, lane(v.Lanes[0]))
+		writeLane(v.Lanes[0])
+		return b.String()
 	}
-	parts := make([]string, len(v.Lanes))
+	b.WriteByte('<')
 	for i, l := range v.Lanes {
-		parts[i] = lane(l)
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeLane(l)
 	}
-	return fmt.Sprintf("%s <%s>", v.Ty, strings.Join(parts, ", "))
+	b.WriteByte('>')
+	return b.String()
 }
 
 // Key returns a comparable key for use in behaviour sets.

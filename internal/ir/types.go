@@ -12,6 +12,7 @@ package ir
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -130,12 +131,34 @@ func (t Type) Equal(u Type) bool { return t == u }
 func (t Type) String() string {
 	switch t.Kind {
 	case IntKind:
-		return fmt.Sprintf("i%d", t.Bits)
+		// Interpreter behaviour-set keys render types on every return,
+		// so the common widths are worth returning allocation-free.
+		switch t.Bits {
+		case 1:
+			return "i1"
+		case 2:
+			return "i2"
+		case 4:
+			return "i4"
+		case 8:
+			return "i8"
+		case 16:
+			return "i16"
+		case 32:
+			return "i32"
+		case 64:
+			return "i64"
+		}
+		return "i" + strconv.FormatUint(uint64(t.Bits), 10)
 	case PtrKind:
 		return "ptr"
 	case VecKind:
 		var b strings.Builder
-		fmt.Fprintf(&b, "<%d x %s>", t.Len, t.ElemType())
+		b.WriteByte('<')
+		b.WriteString(strconv.FormatUint(uint64(t.Len), 10))
+		b.WriteString(" x ")
+		b.WriteString(t.ElemType().String())
+		b.WriteByte('>')
 		return b.String()
 	case VoidKind:
 		return "void"

@@ -15,10 +15,21 @@ import (
 // The enumeration space is split into NumShards(Gen) disjoint shards
 // (one per first-instruction template); a bounded worker pool runs the
 // shards concurrently, each worker with its own generator state,
-// enumeration oracle, interpreter state, and behaviour-set memo — no
-// mutable state is shared, and results are merged in shard order. A
-// campaign's outcome is therefore byte-identical for every worker
-// count, including Workers=1, which runs inline with no goroutines.
+// enumeration oracle, compiled-program cache, and memo session, and
+// results are merged in shard order. The behaviour-set memo itself is
+// ONE concurrency-safe cache shared by all shards, so a candidate that
+// collapses to a form some other shard already explored is a lookup,
+// not a re-enumeration — cross-shard hits are a large fraction of the
+// total on §6-style spaces, where most shards funnel into the same few
+// small forms.
+//
+// A campaign's findings and verdict counters remain byte-identical for
+// every worker count, including Workers=1 (which runs inline with no
+// goroutines): a memo hit returns exactly the set enumeration would
+// have produced, so sharing the memo affects speed, never results.
+// Only the memo *statistics* (Stats.MemoHits and friends) depend on
+// scheduling when Workers > 1, since which shard computes a shared set
+// first is a race.
 type Campaign struct {
 	// Gen bounds the generator. Gen.MaxFuncs is a campaign-wide budget
 	// split deterministically across shards (by shard index, not by
@@ -26,8 +37,9 @@ type Campaign struct {
 	// worker count.
 	Gen Config
 
-	// Refine configures the checker. Its Memo and Oracle fields are
-	// ignored: each shard gets private ones.
+	// Refine configures the checker. Its Memo, Session, Oracle and
+	// Programs fields are ignored: the campaign supplies one shared
+	// memo plus a private session, oracle and program cache per shard.
 	Refine refine.Config
 
 	// Transform mutates a candidate in place; the campaign validates
@@ -59,8 +71,8 @@ type Campaign struct {
 	// serial.
 	Workers int
 
-	// MemoEntries bounds each shard's behaviour-set memo. 0 means
-	// refine.DefaultMemoEntries; negative disables memoization.
+	// MemoEntries bounds the campaign's shared behaviour-set memo. 0
+	// means refine.DefaultMemoEntries; negative disables memoization.
 	MemoEntries int
 }
 
@@ -115,9 +127,14 @@ type Stats struct {
 	// (shard, index, pass) order.
 	Findings []Finding
 
-	// MemoHits / MemoLookups aggregate the per-shard memo counters.
-	MemoHits    uint64
-	MemoLookups uint64
+	// MemoHits / MemoLookups / MemoEvictions are the shared memo's
+	// counters after the run; MemoSets is how many behaviour sets it
+	// ended up holding. Under Workers > 1 the hit/eviction split is
+	// scheduling-dependent (the verdicts above are not).
+	MemoHits      uint64
+	MemoLookups   uint64
+	MemoEvictions uint64
+	MemoSets      int
 
 	// Opt merges the per-shard pass-manager statistics in shard order
 	// (nil unless the campaign ran an instrumented Pipeline).
@@ -206,6 +223,11 @@ func (c Campaign) Run() Stats {
 	}
 	budgets := shardBudgets(c.Gen.MaxFuncs, shards, caps)
 
+	var memo *refine.Memo
+	if c.MemoEntries >= 0 {
+		memo = refine.NewMemo(c.MemoEntries)
+	}
+
 	type shardStats struct {
 		Stats
 	}
@@ -217,11 +239,16 @@ func (c Campaign) Run() Stats {
 		}
 		rcfg := c.Refine
 		rcfg.Oracle = core.NewEnumOracle(rcfg.MaxChoices, rcfg.MaxFanout)
-		if c.MemoEntries >= 0 {
-			rcfg.Memo = refine.NewMemo(c.MemoEntries)
-		} else {
-			rcfg.Memo = nil
+		rcfg.Memo = memo
+		rcfg.Session = nil
+		if memo != nil {
+			rcfg.Session = memo.NewSession()
 		}
+		// Candidates and their transformed clones are built fresh and
+		// never mutated after compilation, so the pointer-trusting
+		// program cache is sound here; it pays off when one candidate is
+		// checked against several passes.
+		rcfg.Programs = core.NewProgramCache(0)
 
 		// Each shard transform returns the pass names that changed the
 		// candidate (pipeline campaigns only; nil otherwise).
@@ -299,10 +326,6 @@ func (c Campaign) Run() Stats {
 			return true
 		})
 		st.Truncated = truncated
-		if rcfg.Memo != nil {
-			st.MemoHits = rcfg.Memo.Hits()
-			st.MemoLookups = rcfg.Memo.Lookups()
-		}
 		if pm != nil {
 			st.Opt = pm.Stats
 		}
@@ -323,8 +346,6 @@ func (c Campaign) Run() Stats {
 		out.Inconclusive += r.Inconclusive
 		out.Truncated = out.Truncated || r.Truncated
 		out.Findings = append(out.Findings, r.Findings...)
-		out.MemoHits += r.MemoHits
-		out.MemoLookups += r.MemoLookups
 		for i, p := range r.Passes {
 			out.Passes[i].Funcs += p.Funcs
 			out.Passes[i].Verified += p.Verified
@@ -337,6 +358,12 @@ func (c Campaign) Run() Stats {
 			}
 			out.Opt.Merge(r.Opt)
 		}
+	}
+	if memo != nil {
+		out.MemoHits = memo.Hits()
+		out.MemoLookups = memo.Lookups()
+		out.MemoEvictions = memo.Evictions()
+		out.MemoSets = memo.Len()
 	}
 	return out
 }

@@ -167,7 +167,11 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 		c := base
 		c.Workers = workers
 		got := c.Run()
-		if !reflect.DeepEqual(ref, got) {
+		if got.MemoLookups != ref.MemoLookups {
+			t.Errorf("workers=%d: %d memo lookups, serial does %d (lookup count is one per behaviour set and must not depend on scheduling)",
+				workers, got.MemoLookups, ref.MemoLookups)
+		}
+		if !reflect.DeepEqual(maskMemo(ref), maskMemo(got)) {
 			t.Errorf("workers=%d diverges from serial:\nserial:  %+v\nparallel: %+v",
 				workers, summarize(ref), summarize(got))
 		}
@@ -176,6 +180,15 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 
 func summarize(s Stats) Stats {
 	s.Findings = nil // keep failure output readable; DeepEqual already compared them
+	return s
+}
+
+// maskMemo zeroes the counters that legitimately depend on scheduling
+// when worker shards share one memo: which shard computes a shared set
+// first (and therefore who hits, who stores, and what the clock
+// evicts) is a race. Verdicts, findings and the lookup count are not.
+func maskMemo(s Stats) Stats {
+	s.MemoHits, s.MemoEvictions, s.MemoSets = 0, 0, 0
 	return s
 }
 
@@ -207,7 +220,7 @@ func TestCampaignPipelineDeterministicAcrossWorkers(t *testing.T) {
 
 	for _, workers := range []int{2, 8} {
 		got := build(workers).Run()
-		refCmp, gotCmp := ref, got
+		refCmp, gotCmp := maskMemo(ref), maskMemo(got)
 		refCmp.Opt, gotCmp.Opt = nil, nil
 		if !reflect.DeepEqual(refCmp, gotCmp) {
 			t.Errorf("workers=%d diverges from serial:\nserial:   %+v\nparallel: %+v",
@@ -248,8 +261,8 @@ func TestCampaignMemoInvariant(t *testing.T) {
 	if with.MemoLookups == 0 {
 		t.Errorf("memo enabled but no lookups recorded")
 	}
-	with.MemoHits, with.MemoLookups = 0, 0
-	without.MemoHits, without.MemoLookups = 0, 0
+	with, without = maskMemo(with), maskMemo(without)
+	with.MemoLookups, without.MemoLookups = 0, 0
 	if !reflect.DeepEqual(with, without) {
 		t.Errorf("memo changed campaign outcome:\nwith:    %+v\nwithout: %+v",
 			summarize(with), summarize(without))

@@ -2,7 +2,10 @@ package refine
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"tameir/internal/core"
 	"tameir/internal/ir"
@@ -19,40 +22,60 @@ import (
 // The cache is two-level so the hot path never touches the expensive
 // part of the key. The first level maps the canonical function text
 // (plus a semantics/bounds fingerprint) to a per-function entry; a
-// two-slot identity cache — two slots because Check alternates between
-// src and tgt on every input — resolves repeat (function, options)
-// pairs by pointer comparison, so the function is printed once per
-// Check side, not once per input. The second level maps the input
-// vector's short key to its behaviour set.
+// per-session two-slot identity cache — two slots because Check
+// alternates between src and tgt on every input — resolves repeat
+// (function, options) pairs by pointer comparison, so the function is
+// printed once per Check side, not once per input. The second level
+// maps the input vector's short key (or its ordinal in Check's
+// deterministic input enumeration) to its behaviour set.
 //
 // Keys are full canonical strings, not hashes, so a hit can never be a
-// collision: a memoized verdict is always the verdict the interpreter
-// would have produced (see TestMemoNeverChangesVerdict). Entries whose
-// sets are Incomplete are not cached — they depend on enumeration
-// bounds in a way that is cheap to just redo. The identity cache
-// assumes functions are not mutated between checks that share a Memo;
-// the pipeline upholds this by checking sources it never mutates and
+// collision: a memoized verdict is always the verdict the engine would
+// have produced (see TestMemoNeverChangesVerdict). Entries whose sets
+// are Incomplete are not cached — they depend on enumeration bounds in
+// a way that is cheap to just redo. The identity cache assumes
+// functions are not mutated between checks that share a Memo; the
+// pipeline upholds this by checking sources it never mutates and
 // transforming private clones.
 //
-// A Memo is NOT safe for concurrent use. The pipeline gives each
-// worker shard its own Memo, which both avoids locking and keeps
-// hit-rate statistics deterministic for a fixed shard layout.
+// A Memo IS safe for concurrent use: the function table is split over
+// memoShardCount lock-striped shards and the counters are atomic, so
+// one memo can back every worker of a campaign and hits cross worker
+// shards. Each goroutine must drive it through its own MemoSession
+// (NewSession), which holds the only unshared state — the identity
+// cache. When the entry cap is reached, a clock (second-chance) sweep
+// evicts cold behaviour sets to admit new ones, so long campaigns keep
+// a warm working set; an eviction can cost a recomputation but never
+// changes a verdict (TestMemoEvictionKeepsVerdicts).
 type Memo struct {
+	max    int
+	shards [memoShardCount]memoShard
+
+	hits, lookups, evictions atomic.Uint64
+
+	// ring is the clock of admitted behaviour sets, bounded by max.
+	ring struct {
+		mu   sync.Mutex
+		refs []evictRef
+		hand int
+	}
+}
+
+// memoShardCount is the lock-striping factor. 64 keeps contention
+// negligible at any plausible worker count while costing one FNV hash
+// per per-function entry resolution (once per Check side, thanks to
+// the session identity cache).
+const memoShardCount = 64
+
+type memoShard struct {
+	mu    sync.Mutex
 	funcs map[string]*memoFuncEntry
-	sets  int // total cached behaviour sets, bounded by max
-	max   int
-
-	hits, lookups uint64
-
-	// ident is the two-slot identity cache; identPos is the next slot
-	// to evict (round-robin).
-	ident    [2]memoIdent
-	identPos int
 }
 
 type memoFuncEntry struct {
+	shard *memoShard // home shard; guards all mutable state below
 	// sets is the generic second level, keyed by input-vector text.
-	sets map[string]BehaviorSet
+	sets map[string]*strSet
 	// byIdx is the fast second level used by Check, keyed by the input
 	// vector's ordinal in Check's deterministic enumeration. Sound
 	// because the fingerprint pins everything the sequence depends on:
@@ -63,6 +86,32 @@ type memoFuncEntry struct {
 type idxSet struct {
 	set BehaviorSet
 	ok  bool
+	ref bool // clock reference bit, set on hit
+}
+
+type strSet struct {
+	set BehaviorSet
+	ref bool
+}
+
+// evictRef locates one admitted behaviour set for the clock sweep.
+// ordinal < 0 means the string-keyed level addressed by key; otherwise
+// byIdx[ordinal].
+type evictRef struct {
+	entry   *memoFuncEntry
+	key     string
+	ordinal int
+}
+
+// MemoSession is one goroutine's handle on a shared Memo. It carries
+// the two-slot function-identity cache, which is the only part of the
+// memo machinery that is not safe to share. Sessions are cheap; create
+// one per worker (Check creates a private one when given a Memo
+// without a Session).
+type MemoSession struct {
+	m        *Memo
+	ident    [2]memoIdent
+	identPos int
 }
 
 type memoIdent struct {
@@ -96,30 +145,46 @@ type memoRef struct {
 const DefaultMemoEntries = 1 << 17
 
 // NewMemo returns a memo holding at most max behaviour sets (0 means
-// DefaultMemoEntries). When full it stops admitting new entries;
-// existing entries keep hitting.
+// DefaultMemoEntries). When full, a clock sweep evicts cold sets to
+// admit new ones.
 func NewMemo(max int) *Memo {
 	if max <= 0 {
 		max = DefaultMemoEntries
 	}
-	return &Memo{funcs: make(map[string]*memoFuncEntry), max: max}
+	m := &Memo{max: max}
+	for i := range m.shards {
+		m.shards[i].funcs = make(map[string]*memoFuncEntry)
+	}
+	return m
 }
 
-// Hits returns the number of lookups answered from the cache.
-func (m *Memo) Hits() uint64 { return m.hits }
+// NewSession returns a fresh session over m for use by one goroutine.
+func (m *Memo) NewSession() *MemoSession { return &MemoSession{m: m} }
+
+// Hits returns the number of lookups answered from the cache (summed
+// over all sessions).
+func (m *Memo) Hits() uint64 { return m.hits.Load() }
 
 // Lookups returns the total number of lookups.
-func (m *Memo) Lookups() uint64 { return m.lookups }
+func (m *Memo) Lookups() uint64 { return m.lookups.Load() }
 
-// Len returns the number of cached behaviour sets.
-func (m *Memo) Len() int { return m.sets }
+// Evictions returns the number of behaviour sets evicted by the clock.
+func (m *Memo) Evictions() uint64 { return m.evictions.Load() }
+
+// Len returns the number of cached behaviour sets (approximate while
+// concurrent stores are in flight).
+func (m *Memo) Len() int {
+	m.ring.mu.Lock()
+	defer m.ring.mu.Unlock()
+	return len(m.ring.refs)
+}
 
 // funcEntry resolves the per-function cache level, through the
-// identity cache when possible.
-func (m *Memo) funcEntry(fn *ir.Func, mo memoOpts) *memoFuncEntry {
-	for i := range m.ident {
-		if m.ident[i].fn == fn && m.ident[i].opts == mo {
-			return m.ident[i].entry
+// session's identity cache when possible.
+func (s *MemoSession) funcEntry(fn *ir.Func, mo memoOpts) *memoFuncEntry {
+	for i := range s.ident {
+		if s.ident[i].fn == fn && s.ident[i].opts == mo {
+			return s.ident[i].entry
 		}
 	}
 	var b strings.Builder
@@ -129,13 +194,20 @@ func (m *Memo) funcEntry(fn *ir.Func, mo memoOpts) *memoFuncEntry {
 		mo.maxChoices, mo.maxFanout, mo.maxExecs, mo.fuel)
 	b.WriteString(fn.String())
 	key := b.String()
-	entry := m.funcs[key]
+
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	sh := &s.m.shards[h.Sum32()%memoShardCount]
+	sh.mu.Lock()
+	entry := sh.funcs[key]
 	if entry == nil {
-		entry = &memoFuncEntry{}
-		m.funcs[key] = entry
+		entry = &memoFuncEntry{shard: sh}
+		sh.funcs[key] = entry
 	}
-	m.ident[m.identPos] = memoIdent{fn: fn, opts: mo, entry: entry}
-	m.identPos = (m.identPos + 1) % len(m.ident)
+	sh.mu.Unlock()
+
+	s.ident[s.identPos] = memoIdent{fn: fn, opts: mo, entry: entry}
+	s.identPos = (s.identPos + 1) % len(s.ident)
 	return entry
 }
 
@@ -166,47 +238,123 @@ func argsKey(args []core.Value) string {
 // Check's deterministic enumeration and selects the slice-indexed
 // level, whose hot path does no string work at all; pass -1 when no
 // such ordinal exists.
-func (m *Memo) lookup(fn *ir.Func, args []core.Value, ordinal int, opts core.Options, cfg Config) (memoRef, BehaviorSet, bool) {
-	m.lookups++
-	entry := m.funcEntry(fn, memoOptsOf(opts, cfg))
+func (s *MemoSession) lookup(fn *ir.Func, args []core.Value, ordinal int, opts core.Options, cfg Config) (memoRef, BehaviorSet, bool) {
+	s.m.lookups.Add(1)
+	entry := s.funcEntry(fn, memoOptsOf(opts, cfg))
+	sh := entry.shard
 	if ordinal >= 0 {
 		ref := memoRef{entry: entry, ordinal: ordinal}
+		sh.mu.Lock()
 		if ordinal < len(entry.byIdx) && entry.byIdx[ordinal].ok {
-			m.hits++
-			return ref, entry.byIdx[ordinal].set, true
+			entry.byIdx[ordinal].ref = true
+			set := entry.byIdx[ordinal].set
+			sh.mu.Unlock()
+			s.m.hits.Add(1)
+			return ref, set, true
 		}
+		sh.mu.Unlock()
 		return ref, BehaviorSet{}, false
 	}
 	ref := memoRef{entry: entry, argsKey: argsKey(args), ordinal: -1}
-	set, ok := entry.sets[ref.argsKey]
-	if ok {
-		m.hits++
+	sh.mu.Lock()
+	if e := entry.sets[ref.argsKey]; e != nil {
+		e.ref = true
+		set := e.set
+		sh.mu.Unlock()
+		s.m.hits.Add(1)
+		return ref, set, true
 	}
-	return ref, set, ok
+	sh.mu.Unlock()
+	return ref, BehaviorSet{}, false
 }
 
 // store caches a computed set under a ref obtained from lookup.
-func (m *Memo) store(ref memoRef, set BehaviorSet) {
-	if set.Incomplete || m.sets >= m.max {
+func (s *MemoSession) store(ref memoRef, set BehaviorSet) {
+	if set.Incomplete {
 		return
 	}
+	sh := ref.entry.shard
+	sh.mu.Lock()
 	if ref.ordinal >= 0 {
 		for len(ref.entry.byIdx) <= ref.ordinal {
 			ref.entry.byIdx = append(ref.entry.byIdx, idxSet{})
 		}
 		if ref.entry.byIdx[ref.ordinal].ok {
-			return
+			sh.mu.Unlock()
+			return // another session raced the same computation
 		}
 		ref.entry.byIdx[ref.ordinal] = idxSet{set: set, ok: true}
-		m.sets++
+	} else {
+		if _, dup := ref.entry.sets[ref.argsKey]; dup {
+			sh.mu.Unlock()
+			return
+		}
+		if ref.entry.sets == nil {
+			ref.entry.sets = make(map[string]*strSet)
+		}
+		ref.entry.sets[ref.argsKey] = &strSet{set: set}
+	}
+	sh.mu.Unlock()
+	s.m.admit(evictRef{entry: ref.entry, key: ref.argsKey, ordinal: ref.ordinal})
+}
+
+// admit registers a freshly stored set with the clock, evicting a cold
+// set first when the memo is at capacity. Lock order is strictly
+// ring → shard; the insert path above holds only the shard lock, so
+// the two cannot deadlock.
+func (m *Memo) admit(r evictRef) {
+	ring := &m.ring
+	ring.mu.Lock()
+	defer ring.mu.Unlock()
+	if len(ring.refs) < m.max {
+		ring.refs = append(ring.refs, r)
 		return
 	}
-	if _, dup := ref.entry.sets[ref.argsKey]; dup {
+	// Second chance: clear reference bits until a cold victim appears.
+	// Terminates within two laps — the first lap clears every bit.
+	for {
+		v := ring.refs[ring.hand]
+		sh := v.entry.shard
+		sh.mu.Lock()
+		if v.entry.deref(v) {
+			sh.mu.Unlock()
+			ring.hand = (ring.hand + 1) % len(ring.refs)
+			continue
+		}
+		v.entry.remove(v)
+		sh.mu.Unlock()
+		ring.refs[ring.hand] = r
+		ring.hand = (ring.hand + 1) % len(ring.refs)
+		m.evictions.Add(1)
 		return
 	}
-	if ref.entry.sets == nil {
-		ref.entry.sets = make(map[string]BehaviorSet)
+}
+
+// deref reports whether the referenced set was recently hit, clearing
+// the reference bit. Caller holds the entry's shard lock.
+func (e *memoFuncEntry) deref(v evictRef) bool {
+	if v.ordinal >= 0 {
+		if v.ordinal >= len(e.byIdx) || !e.byIdx[v.ordinal].ref {
+			return false
+		}
+		e.byIdx[v.ordinal].ref = false
+		return true
 	}
-	ref.entry.sets[ref.argsKey] = set
-	m.sets++
+	s := e.sets[v.key]
+	if s == nil || !s.ref {
+		return false
+	}
+	s.ref = false
+	return true
+}
+
+// remove drops the referenced set. Caller holds the entry's shard lock.
+func (e *memoFuncEntry) remove(v evictRef) {
+	if v.ordinal >= 0 {
+		if v.ordinal < len(e.byIdx) {
+			e.byIdx[v.ordinal] = idxSet{}
+		}
+		return
+	}
+	delete(e.sets, v.key)
 }

@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -113,27 +114,65 @@ func TestMemoHitsOnRepeatedCheck(t *testing.T) {
 	}
 }
 
-// TestMemoCapacity: a full memo stops admitting but keeps serving.
-func TestMemoCapacity(t *testing.T) {
+// TestMemoEvictsWhenFull: a full memo admits new sets by evicting cold
+// ones instead of refusing them.
+func TestMemoEvictsWhenFull(t *testing.T) {
 	m := NewMemo(1)
+	s := m.NewSession()
 	fn := ir.MustParseFunc(memoPairs[2].src)
 	opts := core.FreezeOptions()
 	cfg := DefaultConfig(opts, opts)
 
 	a := []core.Value{core.VC(ir.Int(2), 0)}
 	b := []core.Value{core.VC(ir.Int(2), 1)}
-	refA, _, _ := m.lookup(fn, a, -1, opts, cfg)
-	m.store(refA, BehaviorSet{})
-	refB, _, _ := m.lookup(fn, b, -1, opts, cfg)
-	m.store(refB, BehaviorSet{})
+	refA, _, _ := s.lookup(fn, a, -1, opts, cfg)
+	s.store(refA, BehaviorSet{})
+	refB, _, _ := s.lookup(fn, b, -1, opts, cfg)
+	s.store(refB, BehaviorSet{})
 	if m.Len() != 1 {
 		t.Fatalf("Len = %d, want 1 (capacity)", m.Len())
 	}
-	if _, _, ok := m.lookup(fn, a, -1, opts, cfg); !ok {
-		t.Error("entry evicted from full memo")
+	if m.Evictions() != 1 {
+		t.Errorf("Evictions = %d, want 1", m.Evictions())
 	}
-	if _, _, ok := m.lookup(fn, b, -1, opts, cfg); ok {
-		t.Error("over-capacity entry admitted")
+	if _, _, ok := s.lookup(fn, a, -1, opts, cfg); ok {
+		t.Error("cold entry survived eviction")
+	}
+	if _, _, ok := s.lookup(fn, b, -1, opts, cfg); !ok {
+		t.Error("newly admitted entry missing")
+	}
+}
+
+// TestMemoSecondChance: the clock spares recently hit sets and evicts
+// cold ones.
+func TestMemoSecondChance(t *testing.T) {
+	m := NewMemo(2)
+	s := m.NewSession()
+	fn := ir.MustParseFunc(memoPairs[2].src)
+	opts := core.FreezeOptions()
+	cfg := DefaultConfig(opts, opts)
+
+	vals := [][]core.Value{
+		{core.VC(ir.Int(2), 0)},
+		{core.VC(ir.Int(2), 1)},
+		{core.VC(ir.Int(2), 2)},
+	}
+	for _, v := range vals[:2] {
+		ref, _, _ := s.lookup(fn, v, -1, opts, cfg)
+		s.store(ref, BehaviorSet{})
+	}
+	// Touch the first set so its reference bit protects it.
+	if _, _, ok := s.lookup(fn, vals[0], -1, opts, cfg); !ok {
+		t.Fatal("warm entry missing before eviction")
+	}
+	ref, _, _ := s.lookup(fn, vals[2], -1, opts, cfg)
+	s.store(ref, BehaviorSet{})
+
+	if _, _, ok := s.lookup(fn, vals[0], -1, opts, cfg); !ok {
+		t.Error("recently hit set was evicted despite its second chance")
+	}
+	if _, _, ok := s.lookup(fn, vals[1], -1, opts, cfg); ok {
+		t.Error("cold set survived; clock should have chosen it as victim")
 	}
 }
 
@@ -141,12 +180,92 @@ func TestMemoCapacity(t *testing.T) {
 // enumeration bounds and must never be cached.
 func TestMemoSkipsIncomplete(t *testing.T) {
 	m := NewMemo(0)
+	s := m.NewSession()
 	fn := ir.MustParseFunc(memoPairs[2].src)
 	opts := core.FreezeOptions()
 	cfg := DefaultConfig(opts, opts)
-	ref, _, _ := m.lookup(fn, nil, -1, opts, cfg)
-	m.store(ref, BehaviorSet{Incomplete: true})
+	ref, _, _ := s.lookup(fn, nil, -1, opts, cfg)
+	s.store(ref, BehaviorSet{Incomplete: true})
 	if m.Len() != 0 {
 		t.Error("incomplete set was cached")
+	}
+}
+
+// TestMemoEvictionKeepsVerdicts squeezes every pair through a memo so
+// small that eviction churns constantly, and requires the verdicts to
+// match memo-less runs exactly. An eviction may cost a recomputation;
+// it must never change a Result.
+func TestMemoEvictionKeepsVerdicts(t *testing.T) {
+	for _, opts := range []core.Options{
+		core.FreezeOptions(),
+		core.LegacyOptions(core.BranchPoisonNondet),
+	} {
+		memo := NewMemo(4)
+		for round := 0; round < 2; round++ {
+			for i, p := range memoPairs {
+				if p.legacyOnly && opts.Mode == core.Freeze {
+					continue
+				}
+				src := ir.MustParseFunc(p.src)
+				tgt := ir.MustParseFunc(p.tgt)
+				cfg := DefaultConfig(opts, opts)
+
+				plain := Check(src, tgt, cfg)
+				cfg.Memo = memo
+				memoized := Check(src, tgt, cfg)
+				if !reflect.DeepEqual(plain, memoized) {
+					t.Errorf("mode=%v pair=%d round=%d: eviction changed verdict:\nplain:    %s\nmemoized: %s",
+						opts.Mode, i, round, plain, memoized)
+				}
+			}
+		}
+		if memo.Evictions() == 0 {
+			t.Errorf("mode=%v: memo of size 4 saw no evictions; test is not exercising the clock", opts.Mode)
+		}
+		if got := memo.Len(); got > 4 {
+			t.Errorf("mode=%v: Len = %d exceeds capacity 4", opts.Mode, got)
+		}
+	}
+}
+
+// TestMemoConcurrentSessions shares one memo across goroutines that
+// each check every pair, then requires the verdicts to match a serial
+// memo-less run. Run under -race this also exercises the shard and
+// ring locking.
+func TestMemoConcurrentSessions(t *testing.T) {
+	opts := core.LegacyOptions(core.BranchPoisonNondet)
+	want := make([]Result, len(memoPairs))
+	for i, p := range memoPairs {
+		cfg := DefaultConfig(opts, opts)
+		want[i] = Check(ir.MustParseFunc(p.src), ir.MustParseFunc(p.tgt), cfg)
+	}
+
+	memo := NewMemo(64) // small enough that workers also race evictions
+	const workers = 8
+	errs := make(chan string, workers*len(memoPairs))
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			cfg := DefaultConfig(opts, opts)
+			cfg.Memo = memo
+			cfg.Session = memo.NewSession()
+			for i, p := range memoPairs {
+				got := Check(ir.MustParseFunc(p.src), ir.MustParseFunc(p.tgt), cfg)
+				if !reflect.DeepEqual(got, want[i]) {
+					errs <- fmt.Sprintf("pair %d: concurrent verdict %s, want %s", i, got, want[i])
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if memo.Hits() == 0 {
+		t.Error("concurrent sessions produced no cross-session hits")
 	}
 }

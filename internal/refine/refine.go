@@ -108,15 +108,45 @@ type Config struct {
 
 	// Memo, when non-nil, caches behaviour sets by canonical
 	// (function, semantics, input) key so structurally identical
-	// candidates skip re-interpretation. A memo hit never changes a
-	// verdict (keys are full canonical strings, not hashes). A Memo is
-	// not safe for concurrent use: give each worker its own.
+	// candidates skip re-computation. A memo hit never changes a
+	// verdict (keys are full canonical strings, not hashes). One Memo
+	// may be shared by every worker of a campaign; each goroutine must
+	// then also carry its own Session.
 	Memo *Memo
 
+	// Session is this goroutine's handle on Memo. Check creates a
+	// private one when Memo is set and Session is nil, which is fine
+	// for one-off checks; loops over many checks should create one
+	// session per worker (Memo.NewSession) and reuse it, or the memo's
+	// function-identity fast path never warms up.
+	Session *MemoSession
+
 	// Oracle, when non-nil, is reused across executions instead of
-	// allocating a fresh enumeration oracle per behaviour set. Like
-	// Memo it must not be shared between goroutines.
+	// allocating a fresh enumeration oracle per behaviour set. It must
+	// not be shared between goroutines.
 	Oracle *core.EnumOracle
+
+	// Interpret forces the legacy tree-walking interpreter instead of
+	// the compiled engine. The two are behaviourally identical
+	// (TestCompiledMatchesInterpreter); the switch exists for the
+	// tame-bench twin-row comparison and as an escape hatch.
+	Interpret bool
+
+	// Programs, when non-nil, caches compiled programs across checks
+	// keyed by (*ir.Func, Options). The cache trusts function pointers
+	// (see core.ProgramCache's no-mutation contract): set it only when
+	// checked functions are never mutated after first compilation.
+	// When nil, Check still compiles each side exactly once per call.
+	Programs *core.ProgramCache
+
+	// ExecCount, when non-nil, is incremented by the number of
+	// executions actually performed (memo hits contribute nothing).
+	ExecCount *uint64
+
+	// BehaviorHook, when non-nil, observes every behaviour set Check
+	// consumes — computed or memo-hit — in deterministic order. Used by
+	// tame-bench to fingerprint engine equivalence.
+	BehaviorHook func(BehaviorSet)
 }
 
 // DefaultConfig is tuned for the Section 6 experiment: 2-bit
@@ -134,25 +164,62 @@ func DefaultConfig(srcOpts, tgtOpts core.Options) Config {
 }
 
 // Behaviors computes the behaviour set of fn on args by exhaustive
-// oracle enumeration, consulting cfg.Memo first when one is set.
+// oracle enumeration, consulting cfg.Memo first when one is set. The
+// function is compiled once (core.Compile) and the resulting program's
+// frame and memory are reused across the whole sweep; set
+// cfg.Interpret to force the legacy interpreter instead.
 func Behaviors(fn *ir.Func, args []core.Value, opts core.Options, cfg Config) BehaviorSet {
-	return behaviorsAt(fn, args, -1, opts, cfg)
+	if cfg.Memo != nil && cfg.Session == nil {
+		cfg.Session = cfg.Memo.NewSession()
+	}
+	var ex *core.Executor
+	if !cfg.Interpret {
+		ex = cfg.executor(fn, opts)
+	}
+	return behaviorsAt(fn, ex, args, -1, opts, cfg)
 }
 
-// behaviorsAt is Behaviors with an input ordinal: Check passes each
-// input vector's position in its deterministic enumeration, unlocking
-// the memo's string-free fast path. ordinal -1 means "unknown".
-func behaviorsAt(fn *ir.Func, args []core.Value, ordinal int, opts core.Options, cfg Config) BehaviorSet {
+// executor compiles fn under opts (with cfg.Fuel applied, matching the
+// override the enumeration loop applies on the interpreted path) and
+// wraps the program in an Executor whose frame pool and memory are
+// reused across every execution of the sweep.
+func (cfg Config) executor(fn *ir.Func, opts core.Options) *core.Executor {
+	if cfg.Fuel > 0 {
+		opts.Fuel = cfg.Fuel
+	}
+	var p *core.Program
+	if cfg.Programs != nil {
+		p = cfg.Programs.Get(fn, opts)
+	} else {
+		p = core.Compile(fn, opts)
+	}
+	return core.NewExecutor(p)
+}
+
+// behaviorsAt is the enumeration core: it sweeps the oracle through
+// every resolution of nondeterminism, executing on ex when non-nil and
+// on the tree-walking interpreter otherwise. ordinal, when
+// non-negative, is the input vector's position in Check's
+// deterministic enumeration, unlocking the memo's string-free fast
+// path; -1 means "unknown". Memo traffic goes through cfg.Session
+// (the public entry points create one from cfg.Memo when needed).
+func behaviorsAt(fn *ir.Func, ex *core.Executor, args []core.Value, ordinal int, opts core.Options, cfg Config) BehaviorSet {
 	var memoRef memoRef
-	if cfg.Memo != nil {
+	if cfg.Session != nil {
 		var set BehaviorSet
 		var ok bool
-		memoRef, set, ok = cfg.Memo.lookup(fn, args, ordinal, opts, cfg)
+		memoRef, set, ok = cfg.Session.lookup(fn, args, ordinal, opts, cfg)
 		if ok {
+			if cfg.BehaviorHook != nil {
+				cfg.BehaviorHook(set)
+			}
 			return set
 		}
 	}
-	set := BehaviorSet{Rets: map[string]bool{}}
+	// Rets is allocated on the first concrete return value: many sweeps
+	// (all-poison candidates, void functions, UB) never need it, and
+	// the per-input map allocation is measurable on the §6 campaign.
+	var set BehaviorSet
 	if !fn.RetTy.IsVoid() && fn.RetTy.Bitwidth() <= 20 {
 		set.RetBits = fn.RetTy.Bitwidth()
 	}
@@ -173,7 +240,12 @@ func behaviorsAt(fn *ir.Func, args []core.Value, ordinal int, opts core.Options,
 		}
 		execs++
 		o.Reset()
-		out := core.Exec(fn, args, o, opts)
+		var out core.Outcome
+		if ex != nil {
+			out = ex.Run(args, o)
+		} else {
+			out = core.Interpret(fn, args, o, opts)
+		}
 		switch out.Kind {
 		case core.OutUB:
 			set.UB = true
@@ -181,7 +253,7 @@ func behaviorsAt(fn *ir.Func, args []core.Value, ordinal int, opts core.Options,
 			set.Incomplete = true
 		case core.OutError:
 			// Malformed IR is a harness bug; surface loudly.
-			panic(fmt.Sprintf("refine: interpreter error on @%s: %s", fn.Name(), out.Msg))
+			panic(fmt.Sprintf("refine: execution error on @%s: %s", fn.Name(), out.Msg))
 		case core.OutRet:
 			switch {
 			case out.Val.Ty.IsVoid():
@@ -191,6 +263,9 @@ func behaviorsAt(fn *ir.Func, args []core.Value, ordinal int, opts core.Options,
 			case !out.Val.IsConcrete():
 				set.Undef = true
 			default:
+				if set.Rets == nil {
+					set.Rets = make(map[string]bool, 4)
+				}
 				set.Rets[out.Val.Key()] = true
 			}
 		}
@@ -201,8 +276,14 @@ func behaviorsAt(fn *ir.Func, args []core.Value, ordinal int, opts core.Options,
 	if o.Overflowed {
 		set.Incomplete = true
 	}
-	if cfg.Memo != nil {
-		cfg.Memo.store(memoRef, set)
+	if cfg.ExecCount != nil {
+		*cfg.ExecCount += uint64(execs)
+	}
+	if cfg.Session != nil {
+		cfg.Session.store(memoRef, set)
+	}
+	if cfg.BehaviorHook != nil {
+		cfg.BehaviorHook(set)
 	}
 	return set
 }
@@ -323,6 +404,10 @@ func (r Result) String() string {
 // types (including poison, and undef under legacy source semantics);
 // wider types are sampled and the verdict degrades to Inconclusive if
 // no counterexample appears.
+//
+// Each side is compiled exactly once (or fetched from cfg.Programs)
+// and executed through a pooled frame across the entire input×oracle
+// sweep, so the per-execution cost is dispatch, not setup.
 func Check(src, tgt *ir.Func, cfg Config) Result {
 	if len(src.Params) != len(tgt.Params) {
 		panic("refine: signature mismatch")
@@ -331,6 +416,14 @@ func Check(src, tgt *ir.Func, cfg Config) Result {
 		if !src.Params[i].Ty.Equal(tgt.Params[i].Ty) {
 			panic("refine: parameter type mismatch")
 		}
+	}
+	if cfg.Memo != nil && cfg.Session == nil {
+		cfg.Session = cfg.Memo.NewSession()
+	}
+	var srcEx, tgtEx *core.Executor
+	if !cfg.Interpret {
+		srcEx = cfg.executor(src, cfg.SrcOpts)
+		tgtEx = cfg.executor(tgt, cfg.TgtOpts)
 	}
 	exhaustive := true
 	cands := make([][]core.Value, len(src.Params))
@@ -352,8 +445,8 @@ func Check(src, tgt *ir.Func, cfg Config) Result {
 			res.Exhaustive = false
 			break
 		}
-		sb := behaviorsAt(src, args, res.Inputs-1, cfg.SrcOpts, cfg)
-		tb := behaviorsAt(tgt, args, res.Inputs-1, cfg.TgtOpts, cfg)
+		sb := behaviorsAt(src, srcEx, args, res.Inputs-1, cfg.SrcOpts, cfg)
+		tb := behaviorsAt(tgt, tgtEx, args, res.Inputs-1, cfg.TgtOpts, cfg)
 		ok, reason := Refines(sb, tb)
 		if !ok {
 			if strings.HasPrefix(reason, "inconclusive") {
