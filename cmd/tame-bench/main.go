@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"tameir/internal/bench"
+	"tameir/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	execMax := flag.Int("exec-max", 300, "max generated functions per semantics (E12)")
 	quick := flag.Bool("quick", false, "shrink the exec experiment for CI smoke runs")
 	jsonPath := flag.String("json", "", "also write the experiment's rows as JSON to this file (E11, or E12 with -exp exec)")
+	metricsPath := flag.String("metrics", "", "write process engine/cache metrics after the experiments ('-' = text on stdout, *.json = JSON)")
 	flag.Parse()
 
 	wantMeasure := false
@@ -151,6 +153,17 @@ func main() {
 			fatal(err)
 		}
 		bench.ReportAblation(os.Stdout, proto, blind)
+	}
+
+	if *metricsPath != "" {
+		// The shared program cache is the process-wide collector every
+		// experiment feeds; its traffic is scheduling-class because the
+		// parallel experiments interleave their compiles.
+		reg := telemetry.NewRegistry()
+		bench.PublishProcessMetrics(reg)
+		if err := reg.Snapshot().WriteFile(*metricsPath); err != nil {
+			fatal(err)
+		}
 	}
 }
 

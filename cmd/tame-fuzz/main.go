@@ -14,6 +14,17 @@
 // -validate the campaign runs on a worker pool (-workers 0 = one per
 // CPU, 1 = serial) and reports findings plus throughput; the findings
 // are byte-identical for every worker count.
+//
+// Observability flags (with -validate):
+//
+//	-metrics <file|->   write the campaign's metric snapshot: "-" is
+//	                    the Prometheus-style text exposition on stdout,
+//	                    *.json the JSON snapshot, else text to the file
+//	-progress           live progress line on stderr; findings stream
+//	                    to stdout the moment their shard's turn comes,
+//	                    instead of being buffered until the end
+//	-debug-addr ADDR    serve /metrics, /metrics.json, /metrics/history
+//	                    and /debug/pprof on ADDR while the run lasts
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"tameir/internal/optfuzz"
 	"tameir/internal/passes"
 	"tameir/internal/refine"
+	"tameir/internal/telemetry"
 )
 
 func main() {
@@ -44,10 +56,18 @@ func main() {
 	workers := flag.Int("workers", 1, "worker pool size (0 = one per CPU, 1 = serial)")
 	noMemo := flag.Bool("no-memo", false, "disable the behaviour-set memo cache")
 	optStats := flag.Bool("stats", false, "report per-pass change counts and timing after a -validate run")
+	metricsPath := flag.String("metrics", "", "write the metric snapshot to this file ('-' = text on stdout, *.json = JSON)")
+	progress := flag.Bool("progress", false, "live progress line on stderr; stream findings as they are confirmed")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 	flag.Parse()
 
 	if *validate {
-		runCampaign(*instrs, *n, *width, *passList, *sem, *unsound, *workers, *noMemo, *optStats)
+		runCampaign(campaignFlags{
+			instrs: *instrs, n: *n, width: *width,
+			passList: *passList, sem: *sem, unsound: *unsound,
+			workers: *workers, noMemo: *noMemo, optStats: *optStats,
+			metricsPath: *metricsPath, progress: *progress, debugAddr: *debugAddr,
+		})
 		return
 	}
 
@@ -74,10 +94,22 @@ func main() {
 	}
 }
 
-func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, workers int, noMemo, optStats bool) {
+type campaignFlags struct {
+	instrs, n        int
+	width            uint
+	passList, sem    string
+	unsound          bool
+	workers          int
+	noMemo, optStats bool
+	metricsPath      string
+	progress         bool
+	debugAddr        string
+}
+
+func runCampaign(fl campaignFlags) {
 	var opts core.Options
 	pcfg := &passes.Config{}
-	switch sem {
+	switch fl.sem {
 	case "freeze":
 		opts = core.FreezeOptions()
 		pcfg = passes.DefaultFreezeConfig()
@@ -86,14 +118,14 @@ func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, 
 		pcfg = passes.DefaultLegacyConfig()
 		pcfg.Unsound = false
 	default:
-		fatal(fmt.Errorf("unknown semantics %q", sem))
+		fatal(fmt.Errorf("unknown semantics %q", fl.sem))
 	}
-	pcfg.Unsound = unsound
+	pcfg.Unsound = fl.unsound
 
 	pm := passes.O2()
-	if passList != "o2" && passList != "" {
+	if fl.passList != "o2" && fl.passList != "" {
 		var names []string
-		for _, name := range strings.Split(passList, ",") {
+		for _, name := range strings.Split(fl.passList, ",") {
 			names = append(names, strings.TrimSpace(name))
 		}
 		var err error
@@ -104,9 +136,9 @@ func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, 
 	}
 	pm.Instrument()
 
-	gen := optfuzz.DefaultConfig(instrs)
-	gen.Width = width
-	gen.MaxFuncs = n
+	gen := optfuzz.DefaultConfig(fl.instrs)
+	gen.Width = fl.width
+	gen.MaxFuncs = fl.n
 	if opts.Mode == core.Freeze {
 		// Undef is not part of the freeze dialect.
 		gen.AllowUndef = false
@@ -114,7 +146,7 @@ func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, 
 	}
 
 	memoEntries := 0
-	if noMemo {
+	if fl.noMemo {
 		memoEntries = -1
 	}
 	c := optfuzz.Campaign{
@@ -122,38 +154,88 @@ func runCampaign(instrs, n int, width uint, passList, sem string, unsound bool, 
 		Refine:      refine.DefaultConfig(opts, opts),
 		Pipeline:    pm,
 		PipelineCfg: pcfg,
-		Workers:     workers,
+		Workers:     fl.workers,
 		MemoEntries: memoEntries,
 	}
+
+	var reg *telemetry.Registry
+	if fl.metricsPath != "" || fl.debugAddr != "" {
+		reg = telemetry.NewRegistry()
+		c.Telemetry = reg
+	}
+	if fl.debugAddr != "" {
+		ds, err := telemetry.StartDebugServer(fl.debugAddr, reg, 0)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "tame-fuzz: debug server on http://%s (/metrics, /metrics.json, /metrics/history, /debug/pprof)\n", ds.Addr)
+	}
+
+	// With -progress, findings stream to stdout in deterministic order
+	// the moment every earlier shard has finished — the report-early
+	// path — and a live line tracks throughput on stderr.
+	var pl *telemetry.ProgressLine
+	streamDone := make(chan struct{})
+	if fl.progress {
+		pl = telemetry.NewProgressLine(os.Stderr, 0)
+		ch := make(chan optfuzz.Finding, 16)
+		c.Stream = ch
+		go func() {
+			defer close(streamDone)
+			for f := range ch {
+				printFinding(f)
+			}
+		}()
+		start := time.Now()
+		c.Progress = func(p optfuzz.CampaignProgress) {
+			rate := float64(p.Funcs) / time.Since(start).Seconds()
+			pl.Update("tame-fuzz: %d/%d shards  %d funcs  %d refuted  %.0f funcs/sec",
+				p.ShardsDone, p.Shards, p.Funcs, p.Refuted, rate)
+		}
+	} else {
+		close(streamDone)
+	}
+
 	start := time.Now()
 	st := c.Run()
 	elapsed := time.Since(start)
+	<-streamDone
+	pl.Finish()
 
 	for _, f := range st.Findings {
-		fmt.Printf("REFUTED shard=%d index=%d changed-by=%s\n%s\n→\n%s\n%s\n\n",
-			f.Shard, f.Index, strings.Join(f.ChangedBy, ","), f.Src, f.Tgt, f.Result)
+		printFinding(f)
 	}
 	perSec := float64(st.Funcs) / elapsed.Seconds()
 	fmt.Fprintf(os.Stderr,
 		"tame-fuzz: %d funcs validated in %s (%.0f funcs/sec, workers=%d): %d verified, %d refuted, %d inconclusive; memo %d/%d hits (%.1f%%)\n",
-		st.Funcs, elapsed.Round(time.Millisecond), perSec, workers,
+		st.Funcs, elapsed.Round(time.Millisecond), perSec, fl.workers,
 		st.Verified, st.Refuted, st.Inconclusive,
 		st.MemoHits, st.MemoLookups, 100*st.HitRate())
-	if optStats && !noMemo {
+	if fl.optStats && !fl.noMemo {
 		// The memo is shared across all worker shards, so the hit rate
 		// above includes cross-shard hits: one worker's derivation
 		// serves every other worker's structurally identical candidate.
 		fmt.Fprintf(os.Stderr,
 			"tame-fuzz: shared memo across %d workers: %d sets resident, %d evictions (second-chance clock)\n",
-			workers, st.MemoSets, st.MemoEvictions)
+			fl.workers, st.MemoSets, st.MemoEvictions)
 	}
-	if optStats && st.Opt != nil {
-		st.Opt.ReportTime(os.Stderr)
-		st.Opt.Report(os.Stderr)
+	if fl.optStats {
+		st.Opt.Emit(os.Stderr, true, true)
+	}
+	if fl.metricsPath != "" {
+		if err := reg.Snapshot().WriteFile(fl.metricsPath); err != nil {
+			fatal(err)
+		}
 	}
 	if st.Refuted > 0 {
 		os.Exit(1)
 	}
+}
+
+func printFinding(f optfuzz.Finding) {
+	fmt.Printf("REFUTED shard=%d index=%d changed-by=%s\n%s\n→\n%s\n%s\n\n",
+		f.Shard, f.Index, strings.Join(f.ChangedBy, ","), f.Src, f.Tgt, f.Result)
 }
 
 func fatal(err error) {

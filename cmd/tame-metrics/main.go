@@ -1,0 +1,114 @@
+// tame-metrics inspects metric snapshots written by the other tools'
+// -metrics flags. It accepts either format (Prometheus-style text or
+// the JSON snapshot, auto-detected) and is what CI uses to assert a
+// campaign actually exported the counters it promises.
+//
+// Usage:
+//
+//	tame-fuzz -validate -metrics - | tame-metrics -check campaign_funcs_total,check_checks_total
+//	tame-metrics -check progcache_hits_total snapshot.json
+//
+// With -check, exit status 1 if any required series is missing; a
+// required name also matches its labelled or histogram-suffixed
+// children (check_set_size matches check_set_size_bucket{le="1"}).
+// Without -check, the parsed series names and values are listed —
+// a quick way to see what a snapshot holds.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"tameir/internal/telemetry"
+)
+
+func main() {
+	check := flag.String("check", "", "comma-separated series names that must be present")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	values := map[string]int64{}
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '{' {
+		snap, err := telemetry.ParseJSON(bytes.NewReader(data))
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range snap.Samples {
+			if s.Kind == "histogram" {
+				values[s.Name+"_count"] = int64(s.Count)
+				values[s.Name+"_sum"] = int64(s.Sum)
+			} else {
+				values[s.Name] = s.Value
+			}
+		}
+	} else {
+		values, err = telemetry.ParseText(bytes.NewReader(data))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *check == "" {
+		names := make([]string, 0, len(values))
+		for n := range values {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%s %d\n", n, values[n])
+		}
+		return
+	}
+
+	var missing []string
+	for _, want := range strings.Split(*check, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		if !present(values, want) {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		fatal(fmt.Errorf("missing required series: %s", strings.Join(missing, ", ")))
+	}
+	fmt.Printf("tame-metrics: %d series, all required keys present\n", len(values))
+}
+
+// present reports whether name (or a labelled / histogram-suffixed
+// child of it) exists in the parsed snapshot.
+func present(values map[string]int64, name string) bool {
+	if _, ok := values[name]; ok {
+		return true
+	}
+	for k := range values {
+		if strings.HasPrefix(k, name+"{") || strings.HasPrefix(k, name+"_") {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tame-metrics:", err)
+	os.Exit(1)
+}

@@ -32,6 +32,7 @@ func main() {
 	timePasses := flag.Bool("time-passes", false, "report per-pass wall time to stderr")
 	stats := flag.Bool("stats", false, "report per-pass change counts and analysis-cache counters to stderr")
 	printChanged := flag.Bool("print-changed", false, "dump IR to stderr after every pass that changed it")
+	metricsPath := flag.String("metrics", "", "write the pass-manager metric snapshot to this file ('-' = text on stdout, *.json = JSON)")
 	flag.Parse()
 
 	var src []byte
@@ -76,7 +77,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if *timePasses || *stats {
+	if *timePasses || *stats || *metricsPath != "" {
 		pm.Instrument()
 	}
 	if *printChanged {
@@ -92,11 +93,11 @@ func main() {
 		pm.RunOnce(mod, cfg)
 	}
 	fmt.Print(mod)
-	if *timePasses {
-		pm.Stats.ReportTime(os.Stderr)
-	}
-	if *stats {
-		pm.Stats.Report(os.Stderr)
+	pm.Stats.Emit(os.Stderr, *timePasses, *stats)
+	if *metricsPath != "" {
+		if err := pm.Stats.Registry().Snapshot().WriteFile(*metricsPath); err != nil {
+			fatal(err)
+		}
 	}
 }
 

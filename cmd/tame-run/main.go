@@ -19,6 +19,7 @@ import (
 	"tameir/internal/core"
 	"tameir/internal/ir"
 	"tameir/internal/refine"
+	"tameir/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	enumerate := flag.Bool("enumerate", false, "enumerate all behaviours (small types only)")
 	trace := flag.Bool("trace", false, "print every executed instruction")
 	interp := flag.Bool("interp", false, "force the tree-walking interpreter instead of the compiled engine")
+	metricsPath := flag.String("metrics", "", "write engine metrics after the run ('-' = text on stdout, *.json = JSON)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fatal(fmt.Errorf("usage: tame-run [flags] file [args...]"))
@@ -109,6 +111,16 @@ func main() {
 		out = env.Run(fn, args)
 	}
 	fmt.Println(out)
+	if *metricsPath != "" {
+		// One deterministic execution: steps, frames, and the process
+		// program-cache traffic it induced.
+		reg := telemetry.NewRegistry()
+		env.Metrics.Publish(reg, telemetry.Deterministic)
+		core.SharedProgramCache().Stats().Publish(reg, telemetry.Deterministic)
+		if err := reg.Snapshot().WriteFile(*metricsPath); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -23,6 +23,7 @@ import (
 	"tameir/internal/parallel"
 	"tameir/internal/passes"
 	"tameir/internal/refine"
+	"tameir/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 	unsound := flag.Bool("unsound", false, "use the historical pass variants")
 	workers := flag.Int("workers", 1, "worker pool size (0 = one per CPU, 1 = serial)")
 	interp := flag.Bool("interp", false, "force the tree-walking interpreter instead of the compiled engine")
+	metricsPath := flag.String("metrics", "", "write the checker metric snapshot to this file ('-' = text on stdout, *.json = JSON)")
 	flag.Parse()
 
 	var opts core.Options
@@ -46,17 +48,20 @@ func main() {
 	rcfg.Interpret = *interp
 
 	// check runs one src→tgt validation with worker-private checker
-	// state. Each call gets its own oracle so concurrent checks never
-	// share enumeration storage.
-	check := func(src, tgt *ir.Func) refine.Result {
+	// state. Each call gets its own oracle (and metric collector) so
+	// concurrent checks never share storage; per-pair collectors merge
+	// in input order below, the shard-order discipline.
+	check := func(src, tgt *ir.Func, met *refine.CheckMetrics) refine.Result {
 		cfg := rcfg
 		cfg.Oracle = core.NewEnumOracle(cfg.MaxChoices, cfg.MaxFanout)
+		cfg.Metrics = met
 		return refine.Check(src, tgt, cfg)
 	}
 
 	type report struct {
 		name string
 		res  refine.Result
+		met  refine.CheckMetrics
 	}
 
 	var reports []report
@@ -82,7 +87,10 @@ func main() {
 			for _, p := range ps {
 				passes.RunPass(p, work, cfg)
 			}
-			return report{f.Name(), check(f, work)}
+			var r report
+			r.name = f.Name()
+			r.res = check(f, work, &r.met)
+			return r
 		})
 	} else {
 		if flag.NArg() != 2 {
@@ -99,15 +107,29 @@ func main() {
 			pairs = append(pairs, [2]*ir.Func{sf, tf})
 		}
 		reports = parallel.Map(*workers, len(pairs), func(i int) report {
-			return report{pairs[i][0].Name(), check(pairs[i][0], pairs[i][1])}
+			var r report
+			r.name = pairs[i][0].Name()
+			r.res = check(pairs[i][0], pairs[i][1], &r.met)
+			return r
 		})
 	}
 
 	anyRefuted := false
+	var met refine.CheckMetrics
 	for _, r := range reports {
 		fmt.Printf("@%s: %s\n", r.name, r.res)
 		if r.res.Status == refine.Refuted {
 			anyRefuted = true
+		}
+		met.Add(&r.met)
+	}
+	if *metricsPath != "" {
+		// No memo is in play, so every checker counter is a pure
+		// function of the input pair list.
+		reg := telemetry.NewRegistry()
+		met.Publish(reg, telemetry.Deterministic)
+		if err := reg.Snapshot().WriteFile(*metricsPath); err != nil {
+			fatal(err)
 		}
 	}
 	if anyRefuted {

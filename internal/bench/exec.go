@@ -33,8 +33,8 @@ type ExecRow struct {
 	// Execs counts individual function executions (each one oracle
 	// resolution of one input), the unit the engines actually compete
 	// on.
-	Execs       uint64
-	Elapsed     time.Duration
+	Execs        uint64
+	Elapsed      time.Duration
 	ChecksPerSec float64
 	ExecsPerSec  float64
 

@@ -113,8 +113,9 @@ func MeasurePipeline(fixed bool, numInstrs, maxFuncs, workers int, memo, multiPa
 		AnalysisCache: multiPass || analysisCache,
 	}
 	if st.Opt != nil {
-		r.AnalysisComputes = st.Opt.Analysis.Computes
-		r.AnalysisHits = st.Opt.Analysis.Hits
+		a := st.Opt.Analysis()
+		r.AnalysisComputes = a.Computes
+		r.AnalysisHits = a.Hits
 	}
 	return r
 }

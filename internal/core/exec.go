@@ -79,6 +79,31 @@ type Env struct {
 	// Steps counts executed instructions (exposed for the evaluation
 	// harness's "run time" proxy when not using the VX64 simulator).
 	Steps int
+
+	// Metrics accumulates engine counters across the env's lifetime.
+	// It is plain (non-atomic) state: an Env is single-goroutine, so
+	// the hot paths pay ordinary increments and a publisher folds the
+	// totals into a telemetry registry once per batch.
+	Metrics EngineMetrics
+}
+
+// EngineMetrics counts what the execution engine did: top-level runs,
+// instructions stepped, and how inner-call frames were obtained (pool
+// hit vs fresh allocation — the steady-state engine should pool nearly
+// everything after warm-up).
+type EngineMetrics struct {
+	Execs           uint64
+	Steps           uint64
+	FramesPooled    uint64
+	FramesAllocated uint64
+}
+
+// Add folds o into m.
+func (m *EngineMetrics) Add(o EngineMetrics) {
+	m.Execs += o.Execs
+	m.Steps += o.Steps
+	m.FramesPooled += o.FramesPooled
+	m.FramesAllocated += o.FramesAllocated
 }
 
 // NewEnv prepares an execution environment: it allocates and
@@ -131,11 +156,21 @@ func (env *Env) initGlobals() error {
 // are used as-is, exactly like the historical interpreter loop (see
 // RunInterp, which this is checked against).
 func (env *Env) Run(fn *ir.Func, args []Value) Outcome {
-	p := sharedPrograms.getVerified(fn, env.Opts)
+	// The trace knob is derived from the env, not trusted from Opts:
+	// a traced env gets the trace-enabled program variant, an untraced
+	// env the variant with no per-step trace branch at all. The two are
+	// distinct ProgramCache entries.
+	opts := env.Opts
+	opts.EmitTrace = env.Trace != nil
+	p := sharedPrograms.getVerified(fn, opts)
 	if out := p.checkArgs(args); out != nil {
 		return *out
 	}
-	return p.invoke(env, args)
+	steps0 := env.Steps
+	out := p.invoke(env, args)
+	env.Metrics.Execs++
+	env.Metrics.Steps += uint64(env.Steps - steps0)
+	return out
 }
 
 // RunInterp executes fn on the tree-walking interpreter. It is the
@@ -151,7 +186,11 @@ func (env *Env) RunInterp(fn *ir.Func, args []Value) Outcome {
 			return Outcome{Kind: OutError, Msg: fmt.Sprintf("arg %d type %s, want %s", i, a.Ty, fn.Params[i].Ty)}
 		}
 	}
-	return env.call(fn, args)
+	steps0 := env.Steps
+	out := env.call(fn, args)
+	env.Metrics.Execs++
+	env.Metrics.Steps += uint64(env.Steps - steps0)
+	return out
 }
 
 // Exec is a convenience wrapper: run fn once through the compiled

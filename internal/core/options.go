@@ -74,6 +74,16 @@ type Options struct {
 
 	// MaxCallDepth bounds recursion; 0 means DefaultMaxCallDepth.
 	MaxCallDepth int
+
+	// EmitTrace compiles per-step Tracer callbacks into the program.
+	// It is a compile-time knob like the semantics fields — Compile
+	// resolves it into the step closures, so a program compiled without
+	// it pays no per-step trace check at all — but it is NOT semantics:
+	// traced and untraced programs make identical oracle choices and
+	// produce identical Outcomes. It participates in ProgramCache keys
+	// (the two variants are distinct programs) and is excluded from
+	// refine's memo fingerprint.
+	EmitTrace bool
 }
 
 // DefaultFuel is the default instruction budget per execution.

@@ -11,8 +11,8 @@ import (
 const DefaultProgramCacheSize = 256
 
 // progKey identifies a compilation: the function identity plus the
-// normalized semantics. Options is all scalars, so the key is
-// comparable.
+// normalized semantics (including the EmitTrace variant bit). Options
+// is all scalars, so the key is comparable.
 type progKey struct {
 	fn   *ir.Func
 	opts Options
@@ -24,10 +24,16 @@ type progEntry struct {
 	// verified lookup path (used by the Exec/Env.Run compatibility
 	// wrappers) re-prints the function and recompiles on mismatch.
 	text string
+	// ref is the clock reference bit: set on every hit, cleared when
+	// the sweeping hand passes. An entry is evicted only after a full
+	// unreferenced revolution — the same second-chance policy as
+	// refine.Memo, so a daemon's working set survives a cold scan.
+	ref bool
 }
 
 // ProgramCache is a bounded, concurrency-safe cache of compiled
-// programs keyed by (*ir.Func, Options).
+// programs keyed by (*ir.Func, Options), with second-chance clock
+// eviction once full.
 //
 // No-mutation contract: Get trusts the function pointer — it does not
 // detect mutation. Callers that transform IR must either compile the
@@ -41,9 +47,28 @@ type progEntry struct {
 type ProgramCache struct {
 	mu      sync.Mutex
 	max     int
-	entries map[progKey]progEntry
-	order   []progKey // FIFO eviction ring
-	next    int
+	entries map[progKey]*progEntry
+	slots   []progKey // clock ring over resident keys
+	hand    int
+
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	recompiles uint64
+}
+
+// ProgramCacheStats is a point-in-time copy of a cache's counters.
+// Hits and misses count lookups; evictions counts clock victims;
+// recompiles counts verified lookups that found stale text. For a
+// cache scoped to one shard the counters are deterministic; for a
+// shared cache they are scheduling-dependent.
+type ProgramCacheStats struct {
+	Size       int
+	Capacity   int
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Recompiles uint64
 }
 
 // NewProgramCache returns a cache bounded to max programs (0 or
@@ -52,7 +77,7 @@ func NewProgramCache(max int) *ProgramCache {
 	if max <= 0 {
 		max = DefaultProgramCacheSize
 	}
-	return &ProgramCache{max: max, entries: make(map[progKey]progEntry)}
+	return &ProgramCache{max: max, entries: make(map[progKey]*progEntry)}
 }
 
 // Get returns the compiled program for (fn, opts), compiling and
@@ -72,6 +97,8 @@ func (c *ProgramCache) get(fn *ir.Func, opts Options, verify bool) *Program {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[k]; ok {
+		c.hits++
+		e.ref = true
 		if !verify {
 			return e.prog
 		}
@@ -80,22 +107,36 @@ func (c *ProgramCache) get(fn *ir.Func, opts Options, verify bool) *Program {
 			return e.prog
 		}
 		// The function mutated since compilation: recompile in place
-		// (the slot in the eviction ring stays valid).
-		e = progEntry{prog: Compile(fn, opts), text: text}
-		c.entries[k] = e
+		// (the slot in the clock ring stays valid).
+		c.recompiles++
+		e.prog = Compile(fn, opts)
+		e.text = text
 		return e.prog
 	}
-	e := progEntry{prog: Compile(fn, opts)}
+	c.misses++
+	e := &progEntry{prog: Compile(fn, opts)}
 	if verify {
 		e.text = fn.String()
 	}
 	if len(c.entries) >= c.max {
-		victim := c.order[c.next]
-		delete(c.entries, victim)
-		c.order[c.next] = k
-		c.next = (c.next + 1) % len(c.order)
+		// Second-chance sweep: clear ref bits until an unreferenced
+		// victim turns up. Terminates within two revolutions.
+		for {
+			victim := c.slots[c.hand]
+			ve := c.entries[victim]
+			if ve.ref {
+				ve.ref = false
+				c.hand = (c.hand + 1) % len(c.slots)
+				continue
+			}
+			delete(c.entries, victim)
+			c.evictions++
+			c.slots[c.hand] = k
+			c.hand = (c.hand + 1) % len(c.slots)
+			break
+		}
 	} else {
-		c.order = append(c.order, k)
+		c.slots = append(c.slots, k)
 	}
 	c.entries[k] = e
 	return e.prog
@@ -108,5 +149,23 @@ func (c *ProgramCache) Len() int {
 	return len(c.entries)
 }
 
+// Stats returns a snapshot of the cache's counters.
+func (c *ProgramCache) Stats() ProgramCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ProgramCacheStats{
+		Size:       len(c.entries),
+		Capacity:   c.max,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Recompiles: c.recompiles,
+	}
+}
+
 // sharedPrograms backs the Exec and Env.Run compatibility wrappers.
 var sharedPrograms = NewProgramCache(0)
+
+// SharedProgramCache exposes the process-wide cache behind Exec and
+// Env.Run so daemons can publish its residency and traffic.
+func SharedProgramCache() *ProgramCache { return sharedPrograms }

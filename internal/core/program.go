@@ -112,10 +112,10 @@ func (env *Env) newLanes(n int) []Scalar {
 type opdKind uint8
 
 const (
-	opdConst opdKind = iota // val holds the precomputed value
-	opdSlot                 // read frame slot
-	opdGlobal               // resolve global address through the env
-	opdErr                  // evaluating the operand is an immediate error
+	opdConst  opdKind = iota // val holds the precomputed value
+	opdSlot                  // read frame slot
+	opdGlobal                // resolve global address through the env
+	opdErr                   // evaluating the operand is an immediate error
 )
 
 // opd is a compiled operand: the closed form of the interpreter's
@@ -252,11 +252,14 @@ func compileInto(fn *ir.Func, opts Options, linker map[*ir.Func]*Program) *Progr
 	linker[fn] = p
 	c := &compiler{p: p, opts: opts, linker: linker}
 	c.compile()
-	nSlots, maxMoves := p.nSlots, p.maxMoves
-	p.framePool.New = func() any {
-		return &cframe{regs: make([]Value, nSlots), phiBuf: make([]Value, maxMoves)}
-	}
 	return p
+}
+
+// newFrame allocates a frame sized for the program. The frame pool has
+// no New hook on purpose: invoke distinguishes a pool hit from a fresh
+// allocation so the env's frame counters stay honest.
+func (p *Program) newFrame() *cframe {
+	return &cframe{regs: make([]Value, p.nSlots), phiBuf: make([]Value, p.maxMoves)}
 }
 
 type compiler struct {
@@ -425,12 +428,26 @@ func (c *compiler) operandRaw(v ir.Value) opd {
 	}
 }
 
-// valStep wraps an instruction's evaluator with the result write and
-// trace callback.
+// valStep wraps an instruction's evaluator with the result write and —
+// only under Options.EmitTrace — the trace callback. The untraced
+// variant has no per-step trace branch at all: the knob is resolved
+// here, at compile time, exactly like the semantics options.
 func (c *compiler) valStep(in *ir.Instr, eval evalFn) stepFn {
 	slot := int32(-1)
 	if s, ok := c.slotOfInstr(in); ok {
 		slot = s
+	}
+	if !c.opts.EmitTrace {
+		return func(env *Env, fr *cframe) (int32, *Outcome) {
+			v, out := eval(env, fr)
+			if out != nil {
+				return 0, out
+			}
+			if slot >= 0 {
+				fr.regs[slot] = v
+			}
+			return -1, nil
+		}
 	}
 	return func(env *Env, fr *cframe) (int32, *Outcome) {
 		v, out := eval(env, fr)
@@ -507,6 +524,29 @@ func (c *compiler) compileInstr(b *ir.Block, in *ir.Instr) stepFn {
 		slot := int32(-1)
 		if s, ok := c.slotOfInstr(in); ok {
 			slot = s
+		}
+		if !c.opts.EmitTrace {
+			return func(env *Env, fr *cframe) (int32, *Outcome) {
+				if cap(env.callBuf) < len(args) {
+					env.callBuf = make([]Value, len(args))
+				}
+				callArgs := env.callBuf[:len(args)]
+				for i := range args {
+					v, out := args[i].eval(env, fr)
+					if out != nil {
+						return 0, out
+					}
+					callArgs[i] = v
+				}
+				res := callee.invoke(env, callArgs)
+				if res.Kind != OutRet {
+					return 0, &res
+				}
+				if slot >= 0 {
+					fr.regs[slot] = res.Val
+				}
+				return -1, nil
+			}
 		}
 		instr := in
 		return func(env *Env, fr *cframe) (int32, *Outcome) {
@@ -868,7 +908,13 @@ func (p *Program) invoke(env *Env, args []Value) Outcome {
 		return Outcome{Kind: OutTimeout, Msg: "call depth exceeded"}
 	}
 	env.depth++
-	fr := p.framePool.Get().(*cframe)
+	fr, _ := p.framePool.Get().(*cframe)
+	if fr == nil {
+		fr = p.newFrame()
+		env.Metrics.FramesAllocated++
+	} else {
+		env.Metrics.FramesPooled++
+	}
 	out := p.execFrame(env, fr, args)
 	clear(fr.regs)
 	p.framePool.Put(fr)
@@ -990,11 +1036,14 @@ func (e *Executor) Run(args []Value, o Oracle) Outcome {
 	}
 	env.depth++
 	if e.fr == nil {
-		e.fr = p.framePool.New().(*cframe)
+		e.fr = p.newFrame()
+		env.Metrics.FramesAllocated++
 	}
 	out := p.execFrame(env, e.fr, args)
 	clear(e.fr.regs)
 	env.depth--
+	env.Metrics.Execs++
+	env.Metrics.Steps += uint64(env.Steps)
 	// The outcome may carry lanes carved from the arena, which the next
 	// Run resets; give it its own backing so callers can keep it.
 	if out.Val.Lanes != nil {
@@ -1002,3 +1051,7 @@ func (e *Executor) Run(args []Value, o Oracle) Outcome {
 	}
 	return out
 }
+
+// Metrics exposes the executor's accumulated engine counters; callers
+// that publish telemetry read (and may reset) them between campaigns.
+func (e *Executor) Metrics() *EngineMetrics { return &e.env.Metrics }

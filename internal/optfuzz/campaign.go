@@ -1,11 +1,16 @@
 package optfuzz
 
 import (
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"tameir/internal/core"
 	"tameir/internal/ir"
 	"tameir/internal/parallel"
 	"tameir/internal/passes"
 	"tameir/internal/refine"
+	"tameir/internal/telemetry"
 )
 
 // Campaign is one fuzz-and-validate run, the paper's §6 experiment as
@@ -74,6 +79,47 @@ type Campaign struct {
 	// MemoEntries bounds the campaign's shared behaviour-set memo. 0
 	// means refine.DefaultMemoEntries; negative disables memoization.
 	MemoEntries int
+
+	// Telemetry, when non-nil, receives the campaign's merged metric
+	// counters after the run: campaign_* verdicts, per-shard checker and
+	// engine counters (check_*, engine_*, pool_frames_*), per-shard
+	// program-cache traffic (progcache_*), shared-memo counters
+	// (memo_*), worker-pool utilization (pool_*), and — for instrumented
+	// Pipeline campaigns — the merged pass-manager registry (pass_*,
+	// opt_*, analysis_*). Shard-local collectors merge in shard order;
+	// the registry's deterministic section is byte-identical for every
+	// worker count.
+	Telemetry *telemetry.Registry
+
+	// Stream, when non-nil, receives every Finding in deterministic
+	// (shard, index, pass) order while the campaign runs, and is closed
+	// by Run before it returns. Streamed findings are NOT retained in
+	// Stats.Findings, so a campaign with a draining consumer holds at
+	// most the out-of-turn shards' findings in memory — this is the
+	// report-early-and-bound-memory path for huge campaigns. A slow
+	// consumer applies backpressure to the whole pipeline.
+	Stream chan<- Finding
+
+	// Progress, when non-nil, is invoked from campaign goroutines —
+	// rate-limited to ProgressEvery, serialized, plus once with the
+	// final totals — as candidates are validated. Keep it fast; it runs
+	// on the hot path's rate-limited edge.
+	Progress func(CampaignProgress)
+
+	// ProgressEvery rate-limits Progress callbacks; 0 means 100ms.
+	ProgressEvery time.Duration
+}
+
+// CampaignProgress is a running snapshot handed to Progress callbacks.
+// Counters are totals since the campaign started.
+type CampaignProgress struct {
+	Shards     int
+	ShardsDone int
+
+	Funcs        uint64
+	Verified     uint64
+	Refuted      uint64
+	Inconclusive uint64
 }
 
 // NamedTransform is one pass (or pipeline) under validation.
@@ -213,6 +259,130 @@ func shardBudgets(total, shards int, caps []int) []int {
 	return out
 }
 
+// findingStreamer reassembles concurrently produced findings into
+// deterministic (shard, index, pass) order. The shard currently at the
+// head of the order streams its findings straight through; later
+// shards buffer until every earlier shard has finished, at which point
+// their backlog flushes and they go live. With one worker nothing ever
+// buffers.
+type findingStreamer struct {
+	mu      sync.Mutex
+	ch      chan<- Finding
+	next    int // lowest shard not yet finished: it streams live
+	pending [][]Finding
+	done    []bool
+}
+
+func newFindingStreamer(ch chan<- Finding, shards int) *findingStreamer {
+	if ch == nil {
+		return nil
+	}
+	return &findingStreamer{ch: ch, pending: make([][]Finding, shards), done: make([]bool, shards)}
+}
+
+// emit routes one finding: live when its shard holds the head of the
+// order, buffered otherwise. Channel sends happen under the lock, so a
+// slow consumer backpressures every shard — that is the memory bound.
+func (st *findingStreamer) emit(shard int, f Finding) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if shard == st.next {
+		st.ch <- f
+	} else {
+		st.pending[shard] = append(st.pending[shard], f)
+	}
+}
+
+// finish marks a shard complete and advances the head past every
+// finished shard, flushing the backlog of each shard the head lands
+// on so its subsequent emits stream live.
+func (st *findingStreamer) finish(shard int) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.done[shard] = true
+	for st.next < len(st.done) && st.done[st.next] {
+		st.next++
+		if st.next < len(st.done) {
+			for _, f := range st.pending[st.next] {
+				st.ch <- f
+			}
+			st.pending[st.next] = nil
+		}
+	}
+}
+
+// close closes the stream channel (all shards must have finished).
+func (st *findingStreamer) close() {
+	if st != nil {
+		close(st.ch)
+	}
+}
+
+// progressSink fans shard-side counter updates into rate-limited
+// Progress callbacks. Updates are atomic adds; the callback itself is
+// serialized by mu.
+type progressSink struct {
+	fn     func(CampaignProgress)
+	every  time.Duration
+	shards int
+
+	funcs        atomic.Uint64
+	verified     atomic.Uint64
+	refuted      atomic.Uint64
+	inconclusive atomic.Uint64
+	shardsDone   atomic.Int64
+
+	last atomic.Int64 // unix nanos of the last callback
+	mu   sync.Mutex
+}
+
+func newProgressSink(fn func(CampaignProgress), every time.Duration, shards int) *progressSink {
+	if fn == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = 100 * time.Millisecond
+	}
+	return &progressSink{fn: fn, every: every, shards: shards}
+}
+
+func (p *progressSink) snapshot() CampaignProgress {
+	return CampaignProgress{
+		Shards:       p.shards,
+		ShardsDone:   int(p.shardsDone.Load()),
+		Funcs:        p.funcs.Load(),
+		Verified:     p.verified.Load(),
+		Refuted:      p.refuted.Load(),
+		Inconclusive: p.inconclusive.Load(),
+	}
+}
+
+// tick fires the callback if the rate limit allows (always when force
+// is set, for the final report).
+func (p *progressSink) tick(force bool) {
+	if p == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := p.last.Load()
+	if !force {
+		if now-last < int64(p.every) || !p.last.CompareAndSwap(last, now) {
+			return
+		}
+	} else {
+		p.last.Store(now)
+	}
+	p.mu.Lock()
+	p.fn(p.snapshot())
+	p.mu.Unlock()
+}
+
 // Run executes the campaign and returns the merged, deterministic
 // result.
 func (c Campaign) Run() Stats {
@@ -228,10 +398,28 @@ func (c Campaign) Run() Stats {
 		memo = refine.NewMemo(c.MemoEntries)
 	}
 
+	streamer := newFindingStreamer(c.Stream, shards)
+	progress := newProgressSink(c.Progress, c.ProgressEvery, shards)
+	var poolPM *parallel.PoolMetrics
+	var runSpan *telemetry.Span
+	if c.Telemetry != nil {
+		poolPM = &parallel.PoolMetrics{}
+		runSpan = telemetry.NewScope(c.Telemetry, "campaign").Start("run")
+	}
+
 	type shardStats struct {
 		Stats
+		Check refine.CheckMetrics
+		Prog  core.ProgramCacheStats
 	}
-	results := parallel.Map(c.Workers, shards, func(s int) shardStats {
+	results := parallel.MapTimed(c.Workers, shards, func(s int) shardStats {
+		defer func() {
+			streamer.finish(s)
+			if progress != nil {
+				progress.shardsDone.Add(1)
+				progress.tick(false)
+			}
+		}()
 		gen := c.Gen
 		gen.MaxFuncs = budgets[s]
 		if c.Gen.MaxFuncs > 0 && budgets[s] == 0 {
@@ -285,6 +473,7 @@ func (c Campaign) Run() Stats {
 		}
 
 		var st shardStats
+		rcfg.Metrics = &st.Check
 		var scratch PassTally // tally sink for single-transform campaigns
 		if len(c.Transforms) > 0 {
 			st.Passes = make([]PassTally, len(transforms))
@@ -308,29 +497,48 @@ func (c Campaign) Run() Stats {
 				case refine.Verified:
 					st.Verified++
 					tally.Verified++
+					if progress != nil {
+						progress.verified.Add(1)
+					}
 				case refine.Refuted:
 					st.Refuted++
 					tally.Refuted++
-					st.Findings = append(st.Findings, Finding{
+					if progress != nil {
+						progress.refuted.Add(1)
+					}
+					fd := Finding{
 						Shard: s, Index: idx, Pass: tr.name,
 						ChangedBy: changedBy,
 						Src:       f.String(), Tgt: work.String(),
 						Result: r,
-					})
+					}
+					if streamer != nil {
+						streamer.emit(s, fd)
+					} else {
+						st.Findings = append(st.Findings, fd)
+					}
 				default:
 					st.Inconclusive++
 					tally.Inconclusive++
+					if progress != nil {
+						progress.inconclusive.Add(1)
+					}
 				}
 			}
 			idx++
+			if progress != nil {
+				progress.funcs.Add(1)
+				progress.tick(false)
+			}
 			return true
 		})
 		st.Truncated = truncated
 		if pm != nil {
 			st.Opt = pm.Stats
 		}
+		st.Prog = rcfg.Programs.Stats()
 		return st
-	})
+	}, poolPM)
 
 	var out Stats
 	if len(c.Transforms) > 0 {
@@ -339,6 +547,8 @@ func (c Campaign) Run() Stats {
 			out.Passes[i].Pass = tr.Name
 		}
 	}
+	var check refine.CheckMetrics
+	var prog core.ProgramCacheStats
 	for _, r := range results {
 		out.Funcs += r.Funcs
 		out.Verified += r.Verified
@@ -358,12 +568,59 @@ func (c Campaign) Run() Stats {
 			}
 			out.Opt.Merge(r.Opt)
 		}
+		check.Add(&r.Check)
+		prog.Add(r.Prog)
 	}
+	streamer.close()
 	if memo != nil {
 		out.MemoHits = memo.Hits()
 		out.MemoLookups = memo.Lookups()
 		out.MemoEvictions = memo.Evictions()
 		out.MemoSets = memo.Len()
 	}
+	runSpan.End()
+	c.publish(out, shards, &check, prog, poolPM, memo != nil)
+	progress.tick(true)
 	return out
+}
+
+// publish folds the campaign's merged collectors into c.Telemetry.
+// Verdict counters and the per-shard checker/engine/program-cache
+// counters are Deterministic (pure functions of the shard partition);
+// everything touching the shared memo is Scheduling, because which
+// worker computes a shared behaviour set first is a race whenever more
+// than one runs — and the class must not depend on the worker count.
+func (c Campaign) publish(out Stats, shards int, check *refine.CheckMetrics, prog core.ProgramCacheStats, poolPM *parallel.PoolMetrics, sharedMemo bool) {
+	reg := c.Telemetry
+	if reg == nil {
+		return
+	}
+	det := telemetry.Deterministic
+	reg.Counter("campaign_shards_total", det, "enumeration shards run").Add(uint64(shards))
+	reg.Counter("campaign_funcs_total", det, "candidate functions enumerated").Add(uint64(out.Funcs))
+	reg.Counter("campaign_verified_total", det, "validations proved refining").Add(uint64(out.Verified))
+	reg.Counter("campaign_refuted_total", det, "validations refuted (findings)").Add(uint64(out.Refuted))
+	reg.Counter("campaign_inconclusive_total", det, "validations hitting resource caps").Add(uint64(out.Inconclusive))
+	var trunc uint64
+	if out.Truncated {
+		trunc = 1
+	}
+	reg.Counter("campaign_truncated_total", det, "campaigns cut short by the budget").Add(trunc)
+
+	memoClass := det
+	if sharedMemo {
+		memoClass = telemetry.Scheduling
+	}
+	check.Publish(reg, memoClass)
+	prog.Publish(reg, det)
+	if sharedMemo {
+		reg.Counter("memo_lookups_total", telemetry.Scheduling, "shared-memo lookups").Add(out.MemoLookups)
+		reg.Counter("memo_hits_total", telemetry.Scheduling, "shared-memo hits").Add(out.MemoHits)
+		reg.Counter("memo_evictions_total", telemetry.Scheduling, "shared-memo evictions").Add(out.MemoEvictions)
+		reg.Gauge("memo_sets", telemetry.Scheduling, "behaviour sets resident in the shared memo").Set(int64(out.MemoSets))
+	}
+	poolPM.Publish(reg)
+	if out.Opt != nil {
+		reg.Merge(out.Opt.Registry())
+	}
 }

@@ -214,7 +214,7 @@ func TestCampaignPipelineDeterministicAcrossWorkers(t *testing.T) {
 	if ref.Funcs == 0 {
 		t.Fatal("campaign validated no functions")
 	}
-	if ref.Opt == nil || ref.Opt.Funcs != ref.Funcs {
+	if ref.Opt == nil || ref.Opt.Funcs() != ref.Funcs {
 		t.Fatalf("pipeline stats not merged: %+v", ref.Opt)
 	}
 
@@ -226,10 +226,11 @@ func TestCampaignPipelineDeterministicAcrossWorkers(t *testing.T) {
 			t.Errorf("workers=%d diverges from serial:\nserial:   %+v\nparallel: %+v",
 				workers, summarize(refCmp), summarize(gotCmp))
 		}
-		if got.Opt.Funcs != ref.Opt.Funcs || got.Opt.FixpointIters != ref.Opt.FixpointIters ||
-			got.Opt.Converged != ref.Opt.Converged || got.Opt.Analysis != ref.Opt.Analysis {
-			t.Errorf("workers=%d: pass-manager counters diverge: %+v vs %+v",
-				workers, got.Opt, ref.Opt)
+		if got.Opt.Funcs() != ref.Opt.Funcs() || got.Opt.FixpointIters() != ref.Opt.FixpointIters() ||
+			got.Opt.Converged() != ref.Opt.Converged() || got.Opt.Analysis() != ref.Opt.Analysis() {
+			t.Errorf("workers=%d: pass-manager counters diverge: funcs=%d/%d iters=%d/%d converged=%d/%d analysis=%+v/%+v",
+				workers, got.Opt.Funcs(), ref.Opt.Funcs(), got.Opt.FixpointIters(), ref.Opt.FixpointIters(),
+				got.Opt.Converged(), ref.Opt.Converged(), got.Opt.Analysis(), ref.Opt.Analysis())
 		}
 		rs, gs := ref.Opt.PassStats(), got.Opt.PassStats()
 		if len(rs) != len(gs) {

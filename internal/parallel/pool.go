@@ -14,6 +14,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"tameir/internal/telemetry"
 )
 
 // Workers normalizes a worker-count setting: values below 1 mean one
@@ -72,5 +75,91 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	Do(workers, n, func(i int) {
 		out[i] = fn(i)
 	})
+	return out
+}
+
+// PoolMetrics summarizes one instrumented pool run: how many tasks ran
+// on how many workers, aggregate worker busy time, the run's wall
+// time, and the queue depth observed at each claim. Everything except
+// Tasks is scheduling-dependent by nature.
+type PoolMetrics struct {
+	Workers    int
+	Tasks      uint64
+	BusyNS     uint64
+	WallNS     uint64
+	QueueDepth telemetry.LocalHist
+}
+
+// Add folds o into m (for campaigns that run several pool phases).
+func (m *PoolMetrics) Add(o *PoolMetrics) {
+	if m.Workers < o.Workers {
+		m.Workers = o.Workers
+	}
+	m.Tasks += o.Tasks
+	m.BusyNS += o.BusyNS
+	m.WallNS += o.WallNS
+	for i, c := range o.QueueDepth.Buckets {
+		m.QueueDepth.Buckets[i] += c
+	}
+	m.QueueDepth.Sum += o.QueueDepth.Sum
+}
+
+// Publish folds the counters into reg. Tasks is deterministic (the
+// work partition is fixed); the rest is scheduling.
+func (m *PoolMetrics) Publish(reg *telemetry.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	reg.Counter("pool_tasks_total", telemetry.Deterministic, "tasks run on the worker pool").Add(m.Tasks)
+	reg.Gauge("pool_workers", telemetry.Scheduling, "worker goroutines in the largest pool run").Set(int64(m.Workers))
+	reg.Counter("pool_busy_ns_total", telemetry.Scheduling, "aggregate worker busy time").Add(m.BusyNS)
+	reg.Counter("pool_wall_ns_total", telemetry.Scheduling, "pool run wall time").Add(m.WallNS)
+	var counts [telemetry.HistBuckets]uint64
+	var n uint64
+	for i, c := range m.QueueDepth.Buckets {
+		counts[i] = c
+		n += c
+	}
+	if n > 0 {
+		reg.Histogram("pool_queue_depth", telemetry.Scheduling, "unclaimed tasks at each claim").
+			AddBuckets(&counts, m.QueueDepth.Sum)
+	}
+}
+
+// MapTimed is Map plus pool instrumentation into pm (which may be nil;
+// the timing shims then cost two clock reads per task). Worker
+// utilization is BusyNS / (Workers × WallNS).
+func MapTimed[T any](workers, n int, fn func(i int) T, pm *PoolMetrics) []T {
+	if pm == nil {
+		return Map(workers, n, fn)
+	}
+	out := make([]T, n)
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	pm.Workers = w
+	pm.Tasks += uint64(n)
+	start := time.Now()
+	var claimed atomic.Int64
+	var busy, depthSum atomic.Uint64
+	var depths [telemetry.HistBuckets]atomic.Uint64
+	Do(workers, n, func(i int) {
+		depth := uint64(0)
+		if d := int64(n) - claimed.Add(1); d > 0 {
+			depth = uint64(d)
+		}
+		depths[telemetry.BucketOf(depth)].Add(1)
+		depthSum.Add(depth)
+		t0 := time.Now()
+		out[i] = fn(i)
+		busy.Add(uint64(time.Since(t0)))
+	})
+	for i := range depths {
+		pm.QueueDepth.Buckets[i] += depths[i].Load()
+	}
+	pm.QueueDepth.Sum += depthSum.Load()
+	pm.BusyNS += busy.Load()
+	pm.WallNS += uint64(time.Since(start))
 	return out
 }

@@ -44,7 +44,7 @@ func TestO2Fixpoint(t *testing.T) {
 	for _, f := range funcs {
 		pm := passes.O2().Instrument()
 		pm.RunFunc(f, cfg)
-		if pm.Stats.Converged == 1 {
+		if pm.Stats.Converged() == 1 {
 			if pm.RunFunc(f, cfg) {
 				t.Fatalf("converged function changed on a second O2 run:\n%s", f)
 			}
@@ -57,7 +57,7 @@ func TestO2Fixpoint(t *testing.T) {
 		t.Errorf("%d of %d functions hit the iteration cap; convergence should be the common case",
 			capped, len(funcs))
 	}
-	if total.Analysis.Hits == 0 {
+	if total.Analysis().Hits == 0 {
 		t.Error("analysis cache never hit across the corpus")
 	}
 }
@@ -188,9 +188,11 @@ func TestStatsMerge(t *testing.T) {
 	merged.Merge(a.Stats)
 	merged.Merge(b.Stats)
 
-	if merged.Funcs != whole.Stats.Funcs || merged.FixpointIters != whole.Stats.FixpointIters ||
-		merged.Converged != whole.Stats.Converged || merged.Analysis != whole.Stats.Analysis {
-		t.Errorf("merged counters %+v diverge from whole-run %+v", merged, whole.Stats)
+	if merged.Funcs() != whole.Stats.Funcs() || merged.FixpointIters() != whole.Stats.FixpointIters() ||
+		merged.Converged() != whole.Stats.Converged() || merged.Analysis() != whole.Stats.Analysis() {
+		t.Errorf("merged counters funcs=%d iters=%d converged=%d analysis=%+v diverge from whole-run funcs=%d iters=%d converged=%d analysis=%+v",
+			merged.Funcs(), merged.FixpointIters(), merged.Converged(), merged.Analysis(),
+			whole.Stats.Funcs(), whole.Stats.FixpointIters(), whole.Stats.Converged(), whole.Stats.Analysis())
 	}
 	ws, ms := whole.Stats.PassStats(), merged.PassStats()
 	if len(ws) != len(ms) {

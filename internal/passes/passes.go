@@ -240,7 +240,7 @@ func (pm *PassManager) runFixpoint(f *ir.Func, cfg *Config, fired *[]string) boo
 	}
 	if pm.Stats != nil {
 		pm.Stats.noteFunc(rounds, converged)
-		pm.Stats.Analysis.Add(am.Stats())
+		pm.Stats.addAnalysis(am.Stats())
 	}
 	return any
 }
@@ -263,8 +263,8 @@ func (pm *PassManager) RunOnce(m *ir.Module, cfg *Config) bool {
 	}
 	if pm.Stats != nil {
 		for _, f := range m.Funcs {
-			pm.Stats.Funcs++
-			pm.Stats.Analysis.Add(ams[f].Stats())
+			pm.Stats.funcs.Inc()
+			pm.Stats.addAnalysis(ams[f].Stats())
 		}
 	}
 	return changed

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tameir/internal/analysis"
+	"tameir/internal/telemetry"
 )
 
 // PassStat is the accumulated record for one pass name across every
@@ -26,48 +27,110 @@ type PassStat struct {
 // change counts, fixpoint behaviour, and analysis-cache counters. One
 // Stats belongs to one PassManager; merge per-shard collectors with
 // Merge (deterministic given deterministic merge order).
+//
+// Since the telemetry PR the collector is a view over a
+// telemetry.Registry: every count lives in a named registry metric
+// (pass_runs_total{pass=...}, opt_funcs_total, analysis_hits_total,
+// ...) and the historical accessors read them back. Report/ReportTime
+// output is byte-identical to the pre-registry collector; Registry()
+// exposes the backing store so campaigns fold pass counters into their
+// campaign-wide snapshot with one Merge.
 type Stats struct {
-	// Funcs is the number of functions run through the pipeline.
-	Funcs int
-	// FixpointIters is the total number of whole-pipeline rounds
-	// executed across all functions.
-	FixpointIters int
-	// Converged counts functions whose last round reported no change
-	// (i.e. a true fixpoint, not the MaxIters cap).
-	Converged int
-	// Analysis counts analysis computations and cache hits.
-	Analysis analysis.Stats
+	reg *telemetry.Registry
 
-	byName map[string]*PassStat
+	funcs     telemetry.Counter
+	iters     telemetry.Counter
+	converged telemetry.Counter
+	aComputes telemetry.Counter
+	aHits     telemetry.Counter
+
+	byName map[string]*passHandles
 	order  []string // first-recorded order: matches pipeline position
+}
+
+// passHandles caches one pass's resolved registry instruments so the
+// per-step hot path is four atomic adds, no name formatting.
+type passHandles struct {
+	runs    telemetry.Counter
+	changed telemetry.Counter
+	wall    telemetry.Counter
+	removed telemetry.Gauge
 }
 
 // NewStats returns an empty collector.
 func NewStats() *Stats {
-	return &Stats{byName: map[string]*PassStat{}}
+	reg := telemetry.NewRegistry()
+	return &Stats{
+		reg:       reg,
+		funcs:     reg.Counter("opt_funcs_total", telemetry.Deterministic, "functions run through the pipeline"),
+		iters:     reg.Counter("opt_fixpoint_iters_total", telemetry.Deterministic, "whole-pipeline rounds executed"),
+		converged: reg.Counter("opt_converged_total", telemetry.Deterministic, "functions reaching a true fixpoint"),
+		aComputes: reg.Counter("analysis_computes_total", telemetry.Deterministic, "analyses computed"),
+		aHits:     reg.Counter("analysis_hits_total", telemetry.Deterministic, "analysis cache hits"),
+		byName:    map[string]*passHandles{},
+	}
+}
+
+// Registry exposes the backing metric store (never nil).
+func (s *Stats) Registry() *telemetry.Registry { return s.reg }
+
+// handles returns the registry instruments for one pass name,
+// registering them on first use. Per-pass run/changed/Δinstr counts
+// are pure functions of the shard partition; wall time never is.
+func (s *Stats) handles(name string) *passHandles {
+	h := s.byName[name]
+	if h == nil {
+		h = &passHandles{
+			runs:    s.reg.Counter(telemetry.L("pass_runs_total", "pass", name), telemetry.Deterministic, "pass executions"),
+			changed: s.reg.Counter(telemetry.L("pass_changed_total", "pass", name), telemetry.Deterministic, "pass executions that changed the function"),
+			wall:    s.reg.Counter(telemetry.L("pass_wall_ns_total", "pass", name), telemetry.Scheduling, "pass wall time in nanoseconds"),
+			removed: s.reg.Gauge(telemetry.L("pass_instrs_removed", "pass", name), telemetry.Deterministic, "net instructions removed"),
+		}
+		s.byName[name] = h
+		s.order = append(s.order, name)
+	}
+	return h
 }
 
 func (s *Stats) record(name string, changed bool, wall time.Duration, instrDelta int) {
-	ps := s.byName[name]
-	if ps == nil {
-		ps = &PassStat{Name: name}
-		s.byName[name] = ps
-		s.order = append(s.order, name)
-	}
-	ps.Runs++
-	ps.Wall += wall
+	h := s.handles(name)
+	h.runs.Inc()
+	h.wall.Add(uint64(wall))
 	if changed {
-		ps.Changed++
-		ps.InstrsRemoved += instrDelta
+		h.changed.Inc()
+		h.removed.Add(int64(instrDelta))
 	}
 }
 
 func (s *Stats) noteFunc(rounds int, converged bool) {
-	s.Funcs++
-	s.FixpointIters += rounds
+	s.funcs.Inc()
+	s.iters.Add(uint64(rounds))
 	if converged {
-		s.Converged++
+		s.converged.Inc()
 	}
+}
+
+// addAnalysis folds an analysis manager's cache counters in.
+func (s *Stats) addAnalysis(a analysis.Stats) {
+	s.aComputes.Add(a.Computes)
+	s.aHits.Add(a.Hits)
+}
+
+// Funcs is the number of functions run through the pipeline.
+func (s *Stats) Funcs() int { return int(s.funcs.Value()) }
+
+// FixpointIters is the total number of whole-pipeline rounds executed
+// across all functions.
+func (s *Stats) FixpointIters() int { return int(s.iters.Value()) }
+
+// Converged counts functions whose last round reported no change
+// (i.e. a true fixpoint, not the MaxIters cap).
+func (s *Stats) Converged() int { return int(s.converged.Value()) }
+
+// Analysis returns the accumulated analysis computation and cache-hit
+// counts.
+func (s *Stats) Analysis() analysis.Stats {
+	return analysis.Stats{Computes: s.aComputes.Value(), Hits: s.aHits.Value()}
 }
 
 // PassStats returns a copy of the per-pass records in first-recorded
@@ -75,7 +138,14 @@ func (s *Stats) noteFunc(rounds int, converged bool) {
 func (s *Stats) PassStats() []PassStat {
 	out := make([]PassStat, 0, len(s.order))
 	for _, n := range s.order {
-		out = append(out, *s.byName[n])
+		h := s.byName[n]
+		out = append(out, PassStat{
+			Name:          n,
+			Runs:          int(h.runs.Value()),
+			Changed:       int(h.changed.Value()),
+			Wall:          time.Duration(h.wall.Value()),
+			InstrsRemoved: int(h.removed.Value()),
+		})
 	}
 	return out
 }
@@ -87,22 +157,11 @@ func (s *Stats) Merge(o *Stats) {
 	if o == nil {
 		return
 	}
-	s.Funcs += o.Funcs
-	s.FixpointIters += o.FixpointIters
-	s.Converged += o.Converged
-	s.Analysis.Add(o.Analysis)
+	s.reg.Merge(o.reg)
 	for _, n := range o.order {
-		ops := o.byName[n]
-		ps := s.byName[n]
-		if ps == nil {
-			ps = &PassStat{Name: n}
-			s.byName[n] = ps
-			s.order = append(s.order, n)
-		}
-		ps.Runs += ops.Runs
-		ps.Changed += ops.Changed
-		ps.Wall += ops.Wall
-		ps.InstrsRemoved += ops.InstrsRemoved
+		// Resolve handles for names s had not seen; the values already
+		// arrived via the registry merge.
+		s.handles(n)
 	}
 }
 
@@ -134,8 +193,25 @@ func (s *Stats) Report(w io.Writer) {
 	for _, ps := range s.PassStats() {
 		fmt.Fprintf(w, "  %-16s %6d %8d %8d\n", ps.Name, ps.Runs, ps.Changed, -ps.InstrsRemoved)
 	}
+	a := s.Analysis()
 	fmt.Fprintf(w, "  functions: %d  fixpoint iterations: %d  converged: %d\n",
-		s.Funcs, s.FixpointIters, s.Converged)
+		s.Funcs(), s.FixpointIters(), s.Converged())
 	fmt.Fprintf(w, "  analyses computed: %d  cache hits: %d\n",
-		s.Analysis.Computes, s.Analysis.Hits)
+		a.Computes, a.Hits)
+}
+
+// Emit is the one -stats formatter behind every CLI: the timing table
+// (when timePasses) followed by the statistics summary (when stats).
+// tame-opt and tame-fuzz both route through it, so their output can
+// never drift apart again.
+func (s *Stats) Emit(w io.Writer, timePasses, stats bool) {
+	if s == nil {
+		return
+	}
+	if timePasses {
+		s.ReportTime(w)
+	}
+	if stats {
+		s.Report(w)
+	}
 }

@@ -143,6 +143,12 @@ type Config struct {
 	// executions actually performed (memo hits contribute nothing).
 	ExecCount *uint64
 
+	// Metrics, when non-nil, accumulates validator counters (checks,
+	// inputs, behaviour-set provenance and sizes, engine work). It is
+	// owned by the calling goroutine: campaigns carry one per shard and
+	// merge in shard order.
+	Metrics *CheckMetrics
+
 	// BehaviorHook, when non-nil, observes every behaviour set Check
 	// consumes — computed or memo-hit — in deterministic order. Used by
 	// tame-bench to fingerprint engine equivalence.
@@ -210,6 +216,7 @@ func behaviorsAt(fn *ir.Func, ex *core.Executor, args []core.Value, ordinal int,
 		var ok bool
 		memoRef, set, ok = cfg.Session.lookup(fn, args, ordinal, opts, cfg)
 		if ok {
+			cfg.Metrics.observe(set, true, 0)
 			if cfg.BehaviorHook != nil {
 				cfg.BehaviorHook(set)
 			}
@@ -279,6 +286,7 @@ func behaviorsAt(fn *ir.Func, ex *core.Executor, args []core.Value, ordinal int,
 	if cfg.ExecCount != nil {
 		*cfg.ExecCount += uint64(execs)
 	}
+	cfg.Metrics.observe(set, false, uint64(execs))
 	if cfg.Session != nil {
 		cfg.Session.store(memoRef, set)
 	}
@@ -425,6 +433,17 @@ func Check(src, tgt *ir.Func, cfg Config) Result {
 		srcEx = cfg.executor(src, cfg.SrcOpts)
 		tgtEx = cfg.executor(tgt, cfg.TgtOpts)
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Checks++
+		if !cfg.Interpret {
+			// Executors accumulate engine counters across the whole
+			// sweep; fold them in however Check exits.
+			defer func() {
+				cfg.Metrics.Engine.Add(*srcEx.Metrics())
+				cfg.Metrics.Engine.Add(*tgtEx.Metrics())
+			}()
+		}
+	}
 	exhaustive := true
 	cands := make([][]core.Value, len(src.Params))
 	for i, p := range src.Params {
@@ -441,6 +460,9 @@ func Check(src, tgt *ir.Func, cfg Config) Result {
 			args[i] = cands[i][j]
 		}
 		res.Inputs++
+		if cfg.Metrics != nil {
+			cfg.Metrics.Inputs++
+		}
 		if res.Inputs > cfg.MaxInputs {
 			res.Exhaustive = false
 			break

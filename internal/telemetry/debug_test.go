@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", Deterministic, "").Add(3)
+	hist := NewSnapshotHistory(4)
+	hist.Record(r.Snapshot())
+	srv := httptest.NewServer(DebugMux(r, hist))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	if text := get("/metrics"); !strings.Contains(text, "hits_total 3") {
+		t.Fatalf("/metrics missing counter:\n%s", text)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v", err)
+	}
+	if s, ok := snap.Get("hits_total"); !ok || s.Value != 3 {
+		t.Fatalf("/metrics.json wrong sample: %+v", s)
+	}
+	var history []map[string]any
+	if err := json.Unmarshal([]byte(get("/metrics/history")), &history); err != nil {
+		t.Fatalf("/metrics/history not JSON: %v", err)
+	}
+	if len(history) != 1 {
+		t.Fatalf("history length = %d, want 1", len(history))
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}
+
+func TestSnapshotHistoryRing(t *testing.T) {
+	h := NewSnapshotHistory(2)
+	for i := 0; i < 3; i++ {
+		r := NewRegistry()
+		r.Counter("i_total", Deterministic, "").Add(uint64(i))
+		h.Record(r.Snapshot())
+	}
+	rec := httptest.NewRecorder()
+	h.WriteJSON(rec)
+	var out []struct {
+		Snapshot Snapshot `json:"snapshot"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("history JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(out) != 2 {
+		t.Fatalf("ring kept %d, want 2", len(out))
+	}
+	// Oldest-first: entries 1 then 2 survive.
+	s0, _ := out[0].Snapshot.Get("i_total")
+	s1, _ := out[1].Snapshot.Get("i_total")
+	if s0.Value != 1 || s1.Value != 2 {
+		t.Fatalf("ring order wrong: %d, %d", s0.Value, s1.Value)
+	}
+}
+
+func TestStartDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", Deterministic, "").Inc()
+	ds, err := StartDebugServer("127.0.0.1:0", r, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	resp, err := http.Get("http://" + ds.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET live server: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "up_total 1") {
+		t.Fatalf("live /metrics wrong:\n%s", b)
+	}
+	// Let the collector record at least one snapshot.
+	time.Sleep(30 * time.Millisecond)
+	resp, err = http.Get("http://" + ds.Addr + "/metrics/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var hist []map[string]any
+	if err := json.Unmarshal(hb, &hist); err != nil || len(hist) == 0 {
+		t.Fatalf("history empty or invalid (err=%v):\n%s", err, hb)
+	}
+	if err := ds.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exported time series in a Snapshot. Exactly one of the
+// value groups is meaningful, selected by Kind: Value for counters and
+// gauges; Buckets/Count/Sum for histograms. Buckets are cumulative
+// (bucket i counts observations ≤ 2^i; the last bucket equals Count).
+type Sample struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Class string `json:"class"`
+	Help  string `json:"help,omitempty"`
+
+	Value   int64    `json:"value,omitempty"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by name. It
+// is the unit of both exposition formats.
+type Snapshot struct {
+	Samples []Sample `json:"metrics"`
+}
+
+// Snapshot copies the registry's current values, sorted by metric
+// name. Concurrent writers may land between individual loads — a
+// snapshot taken mid-campaign is approximate; one taken after the
+// merge barrier is exact.
+func (r *Registry) Snapshot() Snapshot {
+	ms := r.snapshotMetrics()
+	snap := Snapshot{Samples: make([]Sample, 0, len(ms))}
+	for _, m := range ms {
+		s := Sample{Name: m.name, Kind: m.kind.String(), Class: m.class.String(), Help: m.help}
+		switch m.kind {
+		case KindCounter:
+			s.Value = int64(m.c.Load())
+		case KindGauge:
+			s.Value = m.g.Load()
+		case KindHistogram:
+			s.Buckets = make([]uint64, HistBuckets)
+			var cum uint64
+			for i := range s.Buckets {
+				cum += m.h.buckets[i].Load()
+				s.Buckets[i] = cum
+			}
+			s.Count = m.h.count.Load()
+			s.Sum = m.h.sum.Load()
+		}
+		snap.Samples = append(snap.Samples, s)
+	}
+	return snap
+}
+
+// bucketLabel renders the upper bound of histogram bucket i.
+func bucketLabel(i int) string {
+	if i >= HistBuckets-1 {
+		return "+Inf"
+	}
+	return strconv.FormatUint(uint64(1)<<uint(i), 10)
+}
+
+// withSuffix appends a sub-series suffix (_bucket, _sum, _count) to a
+// possibly-labelled name, and optionally merges an extra le label:
+// withSuffix(`h{pass="gvn"}`, "_bucket", `le="4"`) →
+// `h_bucket{le="4",pass="gvn"}` (labels re-sorted to stay canonical).
+func withSuffix(name, suffix, extraLabel string) string {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base = name[:i]
+		labels = strings.TrimSuffix(name[i+1:], "}")
+	}
+	all := []string{}
+	if labels != "" {
+		all = append(all, splitLabels(labels)...)
+	}
+	if extraLabel != "" {
+		all = append(all, extraLabel)
+	}
+	if len(all) == 0 {
+		return base + suffix
+	}
+	sort.Strings(all)
+	return base + suffix + "{" + strings.Join(all, ",") + "}"
+}
+
+// splitLabels splits a canonical label body on commas that are not
+// inside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// writeSample emits one sample in Prometheus text format.
+func writeSample(w io.Writer, s Sample) {
+	fmt.Fprintf(w, "# TYPE %s %s\n", metricBase(s.Name), s.Kind)
+	if s.Help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", metricBase(s.Name), s.Help)
+	}
+	switch s.Kind {
+	case "histogram":
+		for i, cum := range s.Buckets {
+			// Skip interior empty prefixes? No: cumulative buckets are
+			// monotone; emit only buckets that add information — the
+			// first nonzero, every change point, and +Inf.
+			if i > 0 && cum == s.Buckets[i-1] && i != len(s.Buckets)-1 {
+				continue
+			}
+			fmt.Fprintf(w, "%s %d\n", withSuffix(s.Name, "_bucket", `le="`+bucketLabel(i)+`"`), cum)
+		}
+		fmt.Fprintf(w, "%s %d\n", withSuffix(s.Name, "_sum", ""), s.Sum)
+		fmt.Fprintf(w, "%s %d\n", withSuffix(s.Name, "_count", ""), s.Count)
+	default:
+		fmt.Fprintf(w, "%s %d\n", s.Name, s.Value)
+	}
+}
+
+// metricBase strips the label part of a series name.
+func metricBase(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WriteText renders the snapshot as Prometheus-style text in two
+// sections: deterministic first, scheduling second. The deterministic
+// section is the reproducibility contract — for a fixed campaign it is
+// byte-identical no matter the worker count. Section markers are
+// comments, so the whole output stays parseable by standard tooling.
+func (s Snapshot) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, class := range []string{"deterministic", "scheduling"} {
+		any := false
+		for _, sm := range s.Samples {
+			if sm.Class != class {
+				continue
+			}
+			if !any {
+				fmt.Fprintf(bw, "# == %s ==\n", class)
+				any = true
+			}
+			writeSample(bw, sm)
+		}
+	}
+	return bw.Flush()
+}
+
+// DeterministicText renders only the deterministic section — the byte
+// string that determinism tests compare across worker counts.
+func (s Snapshot) DeterministicText() string {
+	var b strings.Builder
+	for _, sm := range s.Samples {
+		if sm.Class != "deterministic" {
+			continue
+		}
+		writeSample(&b, sm)
+	}
+	return b.String()
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ParseJSON reads a snapshot previously written by WriteJSON.
+func ParseJSON(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: parse json snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// ParseText reads a text exposition back into name→value pairs
+// (histogram sub-series appear under their suffixed names, e.g.
+// check_set_size_count). It is the checker's half of the format
+// round-trip: WriteText output must always parse.
+func ParseText(r io.Reader) (map[string]int64, error) {
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		// Value is everything after the last space; the name may
+		// contain spaces only inside quoted label values, which never
+		// end the line.
+		i := strings.LastIndexByte(text, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("telemetry: text line %d: no value: %q", line, text)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(text[i+1:]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: text line %d: bad value: %q", line, text)
+		}
+		out[strings.TrimSpace(text[:i])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: scan text exposition: %w", err)
+	}
+	return out, nil
+}
+
+// WriteFile renders the snapshot to path, the CLI contract behind
+// every -metrics flag: "-" streams the text exposition to stdout, a
+// path ending in .json gets the JSON snapshot, anything else gets the
+// text exposition.
+func (s Snapshot) WriteFile(path string) error {
+	if path == "-" {
+		return s.WriteText(os.Stdout)
+	}
+	var buf bytes.Buffer
+	var err error
+	if strings.HasSuffix(path, ".json") {
+		err = s.WriteJSON(&buf)
+	} else {
+		err = s.WriteText(&buf)
+	}
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// Get returns the sample with the given series name, if present.
+func (s Snapshot) Get(name string) (Sample, bool) {
+	// Samples are sorted by name.
+	i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].Name >= name })
+	if i < len(s.Samples) && s.Samples[i].Name == name {
+		return s.Samples[i], true
+	}
+	return Sample{}, false
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"time"
+)
+
+// Scope is a named position in the span hierarchy, bound to a
+// registry. Spans started under a scope record into series labelled
+// with the scope's slash-joined path, e.g.
+// span_wall_ns{span="campaign/shard/check"}. A nil *Scope is the
+// disabled state: Child and Start are no-ops returning nil, so
+// instrumented code never branches on "spans enabled?" itself. Code
+// that cannot afford even that nil check per event (the engine step
+// loop) gets the check compiled out instead — see core.Options.
+//
+// All span series are Scheduling class by construction: wall time is
+// never reproducible.
+type Scope struct {
+	reg  *Registry
+	path string
+}
+
+// NewScope returns a root scope recording into reg. Returns nil (the
+// disabled scope) when reg is nil.
+func NewScope(reg *Registry, name string) *Scope {
+	if reg == nil {
+		return nil
+	}
+	return &Scope{reg: reg, path: name}
+}
+
+// Child returns a scope one level deeper in the hierarchy.
+func (s *Scope) Child(name string) *Scope {
+	if s == nil {
+		return nil
+	}
+	return &Scope{reg: s.reg, path: s.path + "/" + name}
+}
+
+// Span is one in-flight timed region. End it exactly once.
+type Span struct {
+	hist  Histogram
+	start time.Time
+}
+
+// Start begins a span named under the scope's path. The histogram
+// handle is resolved here (one registry lock), so End is lock-free.
+func (s *Scope) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	path := s.path
+	if name != "" {
+		path = path + "/" + name
+	}
+	return &Span{
+		hist:  s.reg.Histogram(L("span_wall_ns", "span", path), Scheduling, "span wall time in nanoseconds"),
+		start: time.Now(),
+	}
+	// The histogram's _count is the number of times the span ran and
+	// _sum the total nanoseconds — the same two numbers a classic
+	// start/stop timer pair would report, plus a latency distribution.
+}
+
+// End records the span's elapsed wall time. Safe on a nil span.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.hist.Observe(uint64(time.Since(sp.start)))
+}
+
+// Timed runs fn inside a span — convenience for whole-function
+// regions.
+func (s *Scope) Timed(name string, fn func()) {
+	sp := s.Start(name)
+	fn()
+	sp.End()
+}
