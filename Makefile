@@ -28,18 +28,26 @@ check: build vet test race
 
 # CI entry point: full vet + test, then the race detector on the
 # concurrency-bearing surfaces — the worker-pool packages, the shared
-# cross-shard memo, the compiled engine's program cache and frame
-# pool, and the telemetry registry's lock-free hot paths — then a
-# quick E12 twin-row smoke (exits nonzero if the compiled engine's
-# behaviour ever diverges from the interpreter's), and finally a quick
-# campaign that must export a parseable metric snapshot carrying the
-# counters the telemetry layer promises. The JSON twin of that
-# snapshot lands in metrics-snapshot.json for the workflow artifact.
+# cross-shard memo, the three-way engine lockstep (interpreter vs
+# closures vs bytecode) with the shared program cache and frame pool,
+# the bytecode lowering/fold/promotion tests, and the telemetry
+# registry's lock-free hot paths — then a quick E12 smoke across all
+# three tiers and both worker counts (exits nonzero if any engine
+# row's behaviour hash diverges from the interpreted baseline; its
+# rows land in BENCH_exec.json for the workflow artifact), and
+# finally a quick campaign that must export a parseable metric
+# snapshot carrying the counters the telemetry layer promises —
+# including, via the ">0" assertions, proof that tier promotion to
+# the bytecode VM actually fired (the legacy campaign: its undef
+# resolution drives enough executions per program to trip the
+# auto-promotion threshold, where the memoized freeze sweep does
+# not). The JSON twin of that snapshot lands in metrics-snapshot.json
+# for the workflow artifact.
 ci: vet test
 	$(GO) test -race ./internal/passes ./internal/optfuzz
-	$(GO) test -race -run 'Memo|Compiled|ProgramShared|ExecTwins' ./internal/refine ./internal/core ./internal/bench
+	$(GO) test -race -run 'Memo|Compiled|ProgramShared|ExecTwins|Lowering|Fold|Superblock|TierPromotion' ./internal/refine ./internal/core ./internal/core/bytecode ./internal/bench
 	$(GO) test -race -run 'TelemetryRaceStress' ./internal/telemetry
-	$(GO) run ./cmd/tame-bench -exp exec -quick
-	$(GO) run ./cmd/tame-fuzz -validate -n 200 -workers 2 -metrics - \
-	  | $(GO) run ./cmd/tame-metrics -check campaign_funcs_total,campaign_verified_total,check_checks_total,check_inputs_total,check_set_size,engine_steps_total,progcache_hits_total,memo_lookups_total,pool_tasks_total,pass_runs_total,opt_funcs_total,analysis_computes_total,span_wall_ns
-	$(GO) run ./cmd/tame-fuzz -validate -n 200 -workers 2 -metrics metrics-snapshot.json
+	$(GO) run ./cmd/tame-bench -exp exec -quick -json BENCH_exec.json
+	$(GO) run ./cmd/tame-fuzz -validate -n 200 -workers 2 -sem legacy -metrics - \
+	  | $(GO) run ./cmd/tame-metrics -check 'campaign_funcs_total,campaign_verified_total,check_checks_total,check_inputs_total,check_set_size,engine_steps_total,engine_execs_bytecode_total>0,engine_promotions_total>0,progcache_hits_total,memo_lookups_total,pool_tasks_total,pass_runs_total,opt_funcs_total,analysis_computes_total,span_wall_ns'
+	$(GO) run ./cmd/tame-fuzz -validate -n 200 -workers 2 -sem legacy -metrics metrics-snapshot.json

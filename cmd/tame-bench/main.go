@@ -8,7 +8,7 @@
 //	-exp runtime      E7: §7.2 run time (Figure 6)
 //	-exp ablation     freeze-aware vs freeze-blind optimizations
 //	-exp pipeline     E11: parallel fuzz-and-validate throughput
-//	-exp exec         E12: interpreted vs compiled execution engine
+//	-exp exec         E12: execution tiers (interpreter/closures/bytecode) × workers
 //	-exp all          everything
 //
 // E4–E7 share one measurement sweep; the report prints all four
@@ -35,6 +35,8 @@ func main() {
 	pipeWorkers := flag.String("pipeline-workers", "1,2,4", "comma-separated worker counts (E11)")
 	execInstrs := flag.Int("exec-instrs", 3, "instructions per generated function (E12)")
 	execMax := flag.Int("exec-max", 300, "max generated functions per semantics (E12)")
+	execWorkers := flag.String("workers", "1,2", "comma-separated worker counts for the E12 engine×pool rows")
+	execTier := flag.String("tier", "", "highest execution tier to measure in E12: off, closure, auto or bytecode (default bytecode)")
 	quick := flag.Bool("quick", false, "shrink the exec experiment for CI smoke runs")
 	jsonPath := flag.String("json", "", "also write the experiment's rows as JSON to this file (E11, or E12 with -exp exec)")
 	metricsPath := flag.String("metrics", "", "write process engine/cache metrics after the experiments ('-' = text on stdout, *.json = JSON)")
@@ -117,16 +119,21 @@ func main() {
 	}
 
 	if wantExec {
-		fmt.Println("# E12: compile-once execution engine, interpreted vs compiled twins")
+		fmt.Println("# E12: execution tiers (interpreted vs compiled vs bytecode) by worker count")
 		instrs, max := *execInstrs, *execMax
 		if *quick {
 			instrs, max = 2, 60
 		}
-		rows := bench.MeasureExec(instrs, max)
+		engines, err := bench.ExecEnginesForTier(*execTier)
+		if err != nil {
+			fatal(err)
+		}
+		rows := bench.MeasureExec(instrs, max, splitInts(*execWorkers), engines)
 		bench.ReportExec(os.Stdout, rows)
 		for _, r := range rows {
-			if r.Engine == "compiled" && !r.TwinOK {
-				fatal(fmt.Errorf("exec twin mismatch: %s compiled row diverges from interpreted row", r.Mode))
+			if !r.TwinOK {
+				fatal(fmt.Errorf("exec twin mismatch: %s %s workers=%d row diverges from the interpreted baseline",
+					r.Mode, r.Engine, r.Workers))
 			}
 		}
 		if *jsonPath != "" && *exp == "exec" {

@@ -59,6 +59,9 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the metric snapshot to this file ('-' = text on stdout, *.json = JSON)")
 	progress := flag.Bool("progress", false, "live progress line on stderr; stream findings as they are confirmed")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+	debugSnapEvery := flag.Duration("debug-snapshot-interval", 0, "debug-server history snapshot interval (0 = 5s default)")
+	debugSnapRing := flag.Int("debug-snapshot-ring", 0, "debug-server history ring depth (0 = default)")
+	tier := flag.String("tier", "", "execution tier for -validate: off (interpreter), closure, auto or bytecode (default auto)")
 	flag.Parse()
 
 	if *validate {
@@ -67,6 +70,8 @@ func main() {
 			passList: *passList, sem: *sem, unsound: *unsound,
 			workers: *workers, noMemo: *noMemo, optStats: *optStats,
 			metricsPath: *metricsPath, progress: *progress, debugAddr: *debugAddr,
+			debugSnapEvery: *debugSnapEvery, debugSnapRing: *debugSnapRing,
+			tier: *tier,
 		})
 		return
 	}
@@ -104,6 +109,9 @@ type campaignFlags struct {
 	metricsPath      string
 	progress         bool
 	debugAddr        string
+	debugSnapEvery   time.Duration
+	debugSnapRing    int
+	tier             string
 }
 
 func runCampaign(fl campaignFlags) {
@@ -149,9 +157,18 @@ func runCampaign(fl campaignFlags) {
 	if fl.noMemo {
 		memoEntries = -1
 	}
+	rcfg := refine.DefaultConfig(opts, opts)
+	if fl.tier != "" {
+		policy, off, err := core.ParseTier(fl.tier)
+		if err != nil {
+			fatal(err)
+		}
+		rcfg.Tier = policy
+		rcfg.Interpret = off
+	}
 	c := optfuzz.Campaign{
 		Gen:         gen,
-		Refine:      refine.DefaultConfig(opts, opts),
+		Refine:      rcfg,
 		Pipeline:    pm,
 		PipelineCfg: pcfg,
 		Workers:     fl.workers,
@@ -164,7 +181,7 @@ func runCampaign(fl campaignFlags) {
 		c.Telemetry = reg
 	}
 	if fl.debugAddr != "" {
-		ds, err := telemetry.StartDebugServer(fl.debugAddr, reg, 0)
+		ds, err := telemetry.StartDebugServer(fl.debugAddr, reg, fl.debugSnapEvery, fl.debugSnapRing)
 		if err != nil {
 			fatal(err)
 		}

@@ -11,8 +11,11 @@
 // With -check, exit status 1 if any required series is missing; a
 // required name also matches its labelled or histogram-suffixed
 // children (check_set_size matches check_set_size_bucket{le="1"}).
-// Without -check, the parsed series names and values are listed —
-// a quick way to see what a snapshot holds.
+// A name suffixed with ">0" (engine_promotions_total>0) additionally
+// requires some matching sample to be positive — how CI asserts that
+// tier promotion actually happened, not just that the counter was
+// registered. Without -check, the parsed series names and values are
+// listed — a quick way to see what a snapshot holds.
 package main
 
 import (
@@ -84,7 +87,8 @@ func main() {
 		if want == "" {
 			continue
 		}
-		if !present(values, want) {
+		name, nonzero := strings.CutSuffix(want, ">0")
+		if !present(values, name, nonzero) {
 			missing = append(missing, want)
 		}
 	}
@@ -95,13 +99,14 @@ func main() {
 }
 
 // present reports whether name (or a labelled / histogram-suffixed
-// child of it) exists in the parsed snapshot.
-func present(values map[string]int64, name string) bool {
-	if _, ok := values[name]; ok {
+// child of it) exists in the parsed snapshot; with nonzero set, some
+// matching sample must also be positive.
+func present(values map[string]int64, name string, nonzero bool) bool {
+	if v, ok := values[name]; ok && (!nonzero || v > 0) {
 		return true
 	}
-	for k := range values {
-		if strings.HasPrefix(k, name+"{") || strings.HasPrefix(k, name+"_") {
+	for k, v := range values {
+		if (strings.HasPrefix(k, name+"{") || strings.HasPrefix(k, name+"_")) && (!nonzero || v > 0) {
 			return true
 		}
 	}

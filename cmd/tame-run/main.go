@@ -29,6 +29,7 @@ func main() {
 	enumerate := flag.Bool("enumerate", false, "enumerate all behaviours (small types only)")
 	trace := flag.Bool("trace", false, "print every executed instruction")
 	interp := flag.Bool("interp", false, "force the tree-walking interpreter instead of the compiled engine")
+	tier := flag.String("tier", "", "execution tier: off (interpreter), closure, auto or bytecode (default closure; -interp implies off)")
 	metricsPath := flag.String("metrics", "", "write engine metrics after the run ('-' = text on stdout, *.json = JSON)")
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -57,6 +58,17 @@ func main() {
 		fatal(fmt.Errorf("unknown semantics %q", *sem))
 	}
 
+	policy := core.TierPolicy{}
+	runInterp := *interp
+	if *tier != "" {
+		p, off, err := core.ParseTier(*tier)
+		if err != nil {
+			fatal(err)
+		}
+		policy = p
+		runInterp = runInterp || off
+	}
+
 	rest := flag.Args()[1:]
 	if len(rest) != len(fn.Params) {
 		fatal(fmt.Errorf("@%s takes %d arguments, got %d", *fnName, len(fn.Params), len(rest)))
@@ -82,7 +94,8 @@ func main() {
 
 	if *enumerate {
 		cfg := refine.DefaultConfig(opts, opts)
-		cfg.Interpret = *interp
+		cfg.Interpret = runInterp
+		cfg.Tier = policy
 		set := refine.Behaviors(fn, args, opts, cfg)
 		fmt.Printf("behaviours: %s\n", set)
 		return
@@ -104,8 +117,9 @@ func main() {
 			}
 		}
 	}
+	env.Tier = policy
 	var out core.Outcome
-	if *interp {
+	if runInterp {
 		out = env.RunInterp(fn, args)
 	} else {
 		out = env.Run(fn, args)

@@ -32,6 +32,7 @@ func main() {
 	unsound := flag.Bool("unsound", false, "use the historical pass variants")
 	workers := flag.Int("workers", 1, "worker pool size (0 = one per CPU, 1 = serial)")
 	interp := flag.Bool("interp", false, "force the tree-walking interpreter instead of the compiled engine")
+	tier := flag.String("tier", "", "execution tier: off (interpreter), closure, auto or bytecode (default auto; -interp implies off)")
 	metricsPath := flag.String("metrics", "", "write the checker metric snapshot to this file ('-' = text on stdout, *.json = JSON)")
 	flag.Parse()
 
@@ -46,6 +47,14 @@ func main() {
 	}
 	rcfg := refine.DefaultConfig(opts, opts)
 	rcfg.Interpret = *interp
+	if *tier != "" {
+		policy, off, err := core.ParseTier(*tier)
+		if err != nil {
+			fatal(err)
+		}
+		rcfg.Tier = policy
+		rcfg.Interpret = rcfg.Interpret || off
+	}
 
 	// check runs one src→tgt validation with worker-private checker
 	// state. Each call gets its own oracle (and metric collector) so

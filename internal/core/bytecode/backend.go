@@ -1,0 +1,39 @@
+package bytecode
+
+import (
+	"tameir/internal/core"
+	"tameir/internal/ir"
+)
+
+// backend is the core.TierBackend the tiering controller promotes
+// programs through. Registered at init; core cannot import this
+// package (it would cycle), so execution-facing packages blank-import
+// it to link the tier in.
+type backend struct{}
+
+// Name implements core.TierBackend.
+func (backend) Name() string { return "bytecode" }
+
+// Lower implements core.TierBackend. It declines traced options (the
+// closure engine is the only tier with trace support) and functions
+// that exceed the bytecode's encoding limits.
+func (backend) Lower(fn *ir.Func, opts core.Options) (core.TierProgram, bool) {
+	if opts.EmitTrace {
+		return nil, false
+	}
+	p, ok := lower(fn, opts)
+	if !ok {
+		return nil, false
+	}
+	return p, true
+}
+
+func init() { core.RegisterTierBackend(backend{}) }
+
+// LowerForTest exposes the lowering for white-box tests of fusion and
+// folding (Prog.Stats) without going through the tiering controller.
+// Options are normalized the same way Compile normalizes them, so the
+// lowered semantics match what the controller would see.
+func LowerForTest(fn *ir.Func, opts core.Options) (*Prog, bool) {
+	return lower(fn, core.Compile(fn, opts).Options())
+}

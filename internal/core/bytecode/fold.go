@@ -1,0 +1,77 @@
+package bytecode
+
+import "tameir/internal/core"
+
+// Constant pre-folding evaluates a µop whose operands are all
+// constants at lower time — with the real evaluator, so the fold
+// cannot diverge from eval.go — and keeps the result only when the
+// evaluation is provably deterministic and effect-free:
+//
+//   - It must not consult the oracle. tripOracle records any draw, so
+//     freeze(poison), freeze(undef), a strict read of an undef
+//     constant, and every other nondeterministic path refuse to fold
+//     (each dynamic use must make its own oracle choices, in lockstep
+//     with the other engines).
+//   - It must not raise UB. `udiv %x, 0` stays a runtime µop so the
+//     abort fires at the right fuel point with the right message.
+//
+// Folding to poison is fine (poison is a value), and the replacement
+// uMovC still writes the slot and still charges its fuel unit, so
+// Steps, timeout points and "read of unset register" behaviour are
+// untouched — only the evaluation work disappears.
+
+// constOperands reports whether every operand the µop reads is a
+// constant ref.
+func (u *uop) constOperands() bool {
+	switch u.kind {
+	case uBin, uICmp:
+		return u.a < 0 && u.b < 0
+	case uCast, uFreeze:
+		return u.a < 0
+	case uSel:
+		return u.a < 0 && u.b < 0 && u.c < 0
+	}
+	return false
+}
+
+// tripOracle flags any oracle consultation during a fold attempt.
+type tripOracle struct{ tripped bool }
+
+func (o *tripOracle) Choose(n uint64) uint64 {
+	o.tripped = true
+	return 0
+}
+
+// tryFold attempts to pre-fold u; on success the returned µop is a
+// constant move, and the fold is recorded for same-block operand
+// substitution. The instruction keeps its slot write either way.
+func (lw *fnLower) tryFold(u uop) uop {
+	if !u.constOperands() {
+		return u
+	}
+	trip := &tripOracle{}
+	r := &Runner{opts: lw.opts, o: trip}
+	fr := lw.foldFrame()
+	fr.s[u.dst] = core.Scalar{Kind: kindUnset}
+	if out := r.stepUop(lw.p, fr, &u); out != nil || trip.tripped {
+		return u
+	}
+	folded := fr.s[u.dst]
+	if folded.Kind == kindUnset {
+		return u
+	}
+	lw.lk.stats.Folded++
+	ref := lw.addConst(folded)
+	lw.folded[u.dst] = ref
+	return uop{kind: uMovC, dst: u.dst, a: ref}
+}
+
+// foldFrame returns the lowerer's scratch frame, grown to the current
+// slot count (folding only ever touches the µop's dst slot — all
+// operand refs are constants).
+func (lw *fnLower) foldFrame() *frame {
+	if lw.scratch == nil || len(lw.scratch.s) < lw.p.nS {
+		lw.scratch = &frame{s: make([]core.Scalar, lw.p.nS)}
+	}
+	return lw.scratch
+}

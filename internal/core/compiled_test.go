@@ -1,13 +1,14 @@
 package core_test
 
-// Differential tests for the compiled execution engine: every function
-// must produce exactly the interpreter's outcomes — same Outcome kind,
-// same value, same UB message — under every semantics variant, for
-// every resolution of nondeterminism. The two engines run in lockstep
-// on twin enumeration oracles, so a divergence in *which* choice
-// points are reached (not just in outcomes) also fails: behaviour-set
-// equality downstream is byte-identical by construction only if the
-// Choose-call sequences match.
+// Differential tests for the compiled execution engines: every
+// function must produce exactly the interpreter's outcomes — same
+// Outcome kind, same value, same UB message — under every semantics
+// variant, for every resolution of nondeterminism. The three engines
+// (tree-walking interpreter, closure engine, bytecode VM) run in
+// lockstep on triplet enumeration oracles, so a divergence in *which*
+// choice points are reached (not just in outcomes) also fails:
+// behaviour-set equality downstream is byte-identical by construction
+// only if the Choose-call sequences match.
 
 import (
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"testing"
 
 	"tameir/internal/core"
+	_ "tameir/internal/core/bytecode" // register the tier-2 backend
 	"tameir/internal/ir"
 	"tameir/internal/optfuzz"
 )
@@ -106,13 +108,14 @@ func outcomeKey(o core.Outcome) string {
 	return s
 }
 
-// diffOne sweeps both engines through the full oracle enumeration on
-// one (function, input) and fails on the first divergence.
-func diffOne(t *testing.T, label string, fn *ir.Func, ex *core.Executor, args []core.Value, opts core.Options) {
+// diffOne sweeps all three engines through the full oracle enumeration
+// on one (function, input) and fails on the first divergence.
+func diffOne(t *testing.T, label string, fn *ir.Func, ex, exB *core.Executor, args []core.Value, opts core.Options) {
 	t.Helper()
 	const maxChoices, maxFanout = 16, 1 << 8
 	oi := core.NewEnumOracle(maxChoices, maxFanout)
 	oc := core.NewEnumOracle(maxChoices, maxFanout)
+	ob := core.NewEnumOracle(maxChoices, maxFanout)
 	for exec := 0; ; exec++ {
 		if exec > 1<<14 {
 			// Undef-heavy functions can have more resolutions than worth
@@ -122,33 +125,50 @@ func diffOne(t *testing.T, label string, fn *ir.Func, ex *core.Executor, args []
 		}
 		oi.Reset()
 		oc.Reset()
+		ob.Reset()
 		outI := core.Interpret(fn, args, oi, opts)
 		outC := ex.Run(args, oc)
-		if ki, kc := outcomeKey(outI), outcomeKey(outC); ki != kc {
-			t.Fatalf("%s: args %v exec %d:\ninterpreted: %s\ncompiled:    %s\n%s",
-				label, args, exec, ki, kc, fn)
+		outB := exB.Run(args, ob)
+		ki, kc, kb := outcomeKey(outI), outcomeKey(outC), outcomeKey(outB)
+		if ki != kc || ki != kb {
+			t.Fatalf("%s: args %v exec %d:\ninterpreted: %s\ncompiled:    %s\nbytecode:    %s\n%s",
+				label, args, exec, ki, kc, kb, fn)
 		}
-		ni, nc := oi.Next(), oc.Next()
-		if ni != nc {
-			t.Fatalf("%s: args %v exec %d: oracle enumeration diverged (interp next=%t, compiled next=%t) — the engines take different Choose sequences\n%s",
-				label, args, exec, ni, nc, fn)
+		ni, nc, nb := oi.Next(), oc.Next(), ob.Next()
+		if ni != nc || ni != nb {
+			t.Fatalf("%s: args %v exec %d: oracle enumeration diverged (interp next=%t, compiled next=%t, bytecode next=%t) — the engines take different Choose sequences\n%s",
+				label, args, exec, ni, nc, nb, fn)
 		}
 		if !ni {
 			break
 		}
 	}
-	if oi.Overflowed != oc.Overflowed {
-		t.Fatalf("%s: args %v: overflow flags diverge (interp %t, compiled %t)\n%s",
-			label, args, oi.Overflowed, oc.Overflowed, fn)
+	if oi.Overflowed != oc.Overflowed || oi.Overflowed != ob.Overflowed {
+		t.Fatalf("%s: args %v: overflow flags diverge (interp %t, compiled %t, bytecode %t)\n%s",
+			label, args, oi.Overflowed, oc.Overflowed, ob.Overflowed, fn)
 	}
 }
 
-// diffFunc compiles fn once and lockstep-compares every input.
+// diffFunc compiles fn once and lockstep-compares every input across
+// the interpreter, the closure engine, and the bytecode tier.
 func diffFunc(t *testing.T, label string, fn *ir.Func, opts core.Options) {
 	t.Helper()
-	ex := core.NewExecutor(core.Compile(fn, opts))
+	prog := core.Compile(fn, opts)
+	ex := core.NewExecutor(prog)
+	exB := core.NewExecutor(prog)
+	exB.SetTier(core.TierPolicy{Mode: core.TierBytecode})
+	first := true
 	for _, args := range paramInputs(fn, opts.Mode) {
-		diffOne(t, label, fn, ex, args, opts)
+		diffOne(t, label, fn, ex, exB, args, opts)
+		if first {
+			// A silent fallback to the closure engine would make the
+			// three-way comparison vacuous; every test function must
+			// actually lower.
+			if got := exB.ActiveTier(); got != "bytecode" {
+				t.Fatalf("%s: tier executor runs on %q, want bytecode\n%s", label, got, fn)
+			}
+			first = false
+		}
 	}
 }
 

@@ -61,6 +61,13 @@ type Env struct {
 	// Trace, when non-nil, is invoked after each instruction.
 	Trace Tracer
 
+	// Tier selects the execution tier for Env.Run. Tiered execution is
+	// always a fresh run (the runner resets fuel, memory and globals
+	// like Executor.Run does), so the policy only applies when the env
+	// is untraced; a traced env stays on the closure engine, which is
+	// the only tier with trace support.
+	Tier TierPolicy
+
 	fuel       int
 	depth      int
 	globalAddr map[*ir.Global]uint32
@@ -85,6 +92,12 @@ type Env struct {
 	// the hot paths pay ordinary increments and a publisher folds the
 	// totals into a telemetry registry once per batch.
 	Metrics EngineMetrics
+
+	// tierRunner caches the tier-2 runner for the last program Env.Run
+	// promoted, keyed by tierProgOf (an Env usually runs one function
+	// over and over).
+	tierRunner TierRunner
+	tierProgOf *Program
 }
 
 // EngineMetrics counts what the execution engine did: top-level runs,
@@ -96,6 +109,16 @@ type EngineMetrics struct {
 	Steps           uint64
 	FramesPooled    uint64
 	FramesAllocated uint64
+
+	// Per-tier exec breakdown (Execs is the sum of whichever tiers
+	// ran) plus the number of program promotions to the tier-2
+	// backend. Promotions counts lowered programs, not executors: the
+	// lowering is shared, so only the executor that actually performs
+	// it counts one.
+	InterpExecs   uint64
+	ClosureExecs  uint64
+	BytecodeExecs uint64
+	Promotions    uint64
 }
 
 // Add folds o into m.
@@ -104,6 +127,10 @@ func (m *EngineMetrics) Add(o EngineMetrics) {
 	m.Steps += o.Steps
 	m.FramesPooled += o.FramesPooled
 	m.FramesAllocated += o.FramesAllocated
+	m.InterpExecs += o.InterpExecs
+	m.ClosureExecs += o.ClosureExecs
+	m.BytecodeExecs += o.BytecodeExecs
+	m.Promotions += o.Promotions
 }
 
 // NewEnv prepares an execution environment: it allocates and
@@ -163,14 +190,45 @@ func (env *Env) Run(fn *ir.Func, args []Value) Outcome {
 	opts := env.Opts
 	opts.EmitTrace = env.Trace != nil
 	p := sharedPrograms.getVerified(fn, opts)
+	if env.Tier.Mode != TierClosure && env.Trace == nil {
+		if r := env.tierRunnerFor(p); r != nil {
+			return r.Run(args, env.Oracle, &env.Metrics)
+		}
+	}
 	if out := p.checkArgs(args); out != nil {
 		return *out
 	}
 	steps0 := env.Steps
 	out := p.invoke(env, args)
 	env.Metrics.Execs++
+	env.Metrics.ClosureExecs++
 	env.Metrics.Steps += uint64(env.Steps - steps0)
 	return out
+}
+
+// tierRunnerFor applies the env's tiering policy to p, returning the
+// tier-2 runner once promoted (nil while on the closure engine or when
+// the backend declines the function).
+func (env *Env) tierRunnerFor(p *Program) TierRunner {
+	if env.tierProgOf == p {
+		return env.tierRunner
+	}
+	var tp TierProgram
+	switch env.Tier.Mode {
+	case TierBytecode:
+		tp = p.tierProgram(&env.Metrics)
+	case TierAuto:
+		if p.tierExecs.Add(1) < env.Tier.threshold() {
+			return nil
+		}
+		tp = p.tierProgram(&env.Metrics)
+	}
+	if tp == nil {
+		return nil
+	}
+	env.tierProgOf = p
+	env.tierRunner = tp.NewRunner()
+	return env.tierRunner
 }
 
 // RunInterp executes fn on the tree-walking interpreter. It is the
@@ -189,6 +247,7 @@ func (env *Env) RunInterp(fn *ir.Func, args []Value) Outcome {
 	steps0 := env.Steps
 	out := env.call(fn, args)
 	env.Metrics.Execs++
+	env.Metrics.InterpExecs++
 	env.Metrics.Steps += uint64(env.Steps - steps0)
 	return out
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tameir/internal/ir"
 )
@@ -39,6 +40,33 @@ type Program struct {
 
 	framePool sync.Pool // *cframe
 	execPool  sync.Pool // *Executor, for the Exec convenience wrapper
+
+	// Tier-2 state. tierExecs counts executions across every executor
+	// of this program; when a TierAuto executor sees it trip the
+	// promotion threshold, tierOnce lowers the program (at most once,
+	// shared by all executors — the lowered form is immutable like the
+	// Program itself). tierProg stays nil when the backend declines.
+	tierExecs atomic.Uint64
+	tierOnce  sync.Once
+	tierProg  TierProgram
+}
+
+// tierProgram returns the program's tier-2 lowering, lowering on first
+// use. A successful first lowering counts as one promotion on m (the
+// requesting executor's metrics; merged upward like every engine
+// counter). Returns nil when no backend is registered or the backend
+// declines the function.
+func (p *Program) tierProgram(m *EngineMetrics) TierProgram {
+	p.tierOnce.Do(func() {
+		if tierBackend == nil {
+			return
+		}
+		if tp, ok := tierBackend.Lower(p.fn, p.opts); ok {
+			p.tierProg = tp
+			m.Promotions++
+		}
+	})
+	return p.tierProg
 }
 
 // Func returns the compiled function.
@@ -996,6 +1024,55 @@ type Executor struct {
 	// goroutine, so the entry activation can skip the shared frame
 	// pool entirely (inner calls still use it).
 	fr *cframe
+
+	// tier is the executor's tiering policy; runner is non-nil once
+	// this executor has switched to the tier-2 program.
+	tier   TierPolicy
+	runner TierRunner
+}
+
+// SetTier installs the tiering policy. TierBytecode lowers on the next
+// Run; TierAuto promotes once the program's shared execution counter
+// trips the policy threshold. When the backend declines the function
+// the executor silently stays on the closure engine (ActiveTier
+// reports which engine actually runs).
+func (e *Executor) SetTier(p TierPolicy) {
+	e.tier = p
+	e.runner = nil
+}
+
+// ActiveTier reports the engine the next Run will use: "closure", or
+// the backend name (e.g. "bytecode") once promoted. Tests use this to
+// detect a silent fallback.
+func (e *Executor) ActiveTier() string {
+	if e.runner != nil && tierBackend != nil {
+		return tierBackend.Name()
+	}
+	return "closure"
+}
+
+// tryPromote implements the tiering controller for one Run: it decides
+// whether this execution goes to the tier-2 runner, lowering and
+// counting the promotion when the policy says so.
+func (e *Executor) tryPromote() {
+	p := e.prog
+	switch e.tier.Mode {
+	case TierBytecode:
+		if tp := p.tierProgram(&e.env.Metrics); tp != nil {
+			e.runner = tp.NewRunner()
+		} else {
+			e.tier.Mode = TierClosure // backend declined; stop asking
+		}
+	case TierAuto:
+		if p.tierExecs.Add(1) < e.tier.threshold() {
+			return
+		}
+		if tp := p.tierProgram(&e.env.Metrics); tp != nil {
+			e.runner = tp.NewRunner()
+		} else {
+			e.tier.Mode = TierClosure
+		}
+	}
 }
 
 // NewExecutor returns an executor for p.
@@ -1009,6 +1086,14 @@ func NewExecutor(p *Program) *Executor {
 // Run executes the program on args, resolving nondeterminism through o.
 func (e *Executor) Run(args []Value, o Oracle) Outcome {
 	p := e.prog
+	if e.tier.Mode != TierClosure {
+		if e.runner == nil {
+			e.tryPromote()
+		}
+		if e.runner != nil {
+			return e.runner.Run(args, o, &e.env.Metrics)
+		}
+	}
 	if out := p.checkArgs(args); out != nil {
 		return *out
 	}
@@ -1043,6 +1128,7 @@ func (e *Executor) Run(args []Value, o Oracle) Outcome {
 	clear(e.fr.regs)
 	env.depth--
 	env.Metrics.Execs++
+	env.Metrics.ClosureExecs++
 	env.Metrics.Steps += uint64(env.Steps)
 	// The outcome may carry lanes carved from the arena, which the next
 	// Run resets; give it its own backing so callers can keep it.

@@ -19,6 +19,26 @@ func (m EngineMetrics) Publish(reg *telemetry.Registry, class telemetry.Class) {
 	reg.Counter("engine_steps_total", class, "instructions stepped").Add(m.Steps)
 	reg.Counter("pool_frames_pooled_total", class, "inner-call frames served from the pool").Add(m.FramesPooled)
 	reg.Counter("pool_frames_allocated_total", class, "inner-call frames freshly allocated").Add(m.FramesAllocated)
+	reg.Counter("engine_execs_interp_total", class, "executions on the tree-walking interpreter").Add(m.InterpExecs)
+	reg.Counter("engine_execs_closure_total", class, "executions on the compile-once closure engine").Add(m.ClosureExecs)
+	reg.Counter("engine_execs_bytecode_total", class, "executions on the bytecode VM").Add(m.BytecodeExecs)
+	reg.Counter("engine_promotions_total", class, "programs promoted to the tier-2 backend").Add(m.Promotions)
+	// Per-tier exec histograms: one observation per publish batch, so
+	// the distribution tracks batch sizes per tier (a zero batch still
+	// registers the series — dashboards want the tier visible at 0).
+	for _, t := range []struct {
+		name string
+		n    uint64
+	}{
+		{"engine_tier_execs_interp", m.InterpExecs},
+		{"engine_tier_execs_closure", m.ClosureExecs},
+		{"engine_tier_execs_bytecode", m.BytecodeExecs},
+	} {
+		h := reg.Histogram(t.name, class, "per-publish execution batch size on this tier")
+		if t.n > 0 {
+			h.Observe(t.n)
+		}
+	}
 }
 
 // Add folds o into s (shard-order merge): counters and resident sizes

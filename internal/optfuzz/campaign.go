@@ -45,6 +45,10 @@ type Campaign struct {
 	// Refine configures the checker. Its Memo, Session, Oracle and
 	// Programs fields are ignored: the campaign supplies one shared
 	// memo plus a private session, oracle and program cache per shard.
+	// Refine.Tier is the campaign's execution-tier knob: it flows into
+	// every shard's checker unchanged, so a campaign built on
+	// refine.DefaultConfig auto-promotes hot candidates to the
+	// bytecode VM (the promotions surface in the engine metrics).
 	Refine refine.Config
 
 	// Transform mutates a candidate in place; the campaign validates

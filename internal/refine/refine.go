@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"tameir/internal/core"
+	_ "tameir/internal/core/bytecode" // link the bytecode tier backend
 	"tameir/internal/ir"
 )
 
@@ -132,6 +133,14 @@ type Config struct {
 	// tame-bench twin-row comparison and as an escape hatch.
 	Interpret bool
 
+	// Tier selects the execution tier policy for the compiled engine
+	// (ignored when Interpret is set). The zero value pins the closure
+	// engine; DefaultConfig uses TierAuto so hot candidates promote to
+	// the bytecode VM. All tiers are behaviourally identical
+	// (TestCompiledMatchesInterpreter runs three-way lockstep), so the
+	// policy never affects verdicts — only throughput.
+	Tier core.TierPolicy
+
 	// Programs, when non-nil, caches compiled programs across checks
 	// keyed by (*ir.Func, Options). The cache trusts function pointers
 	// (see core.ProgramCache's no-mutation contract): set it only when
@@ -166,6 +175,7 @@ func DefaultConfig(srcOpts, tgtOpts core.Options) Config {
 		MaxExecs:   1 << 14,
 		MaxInputs:  1 << 16,
 		Fuel:       4096,
+		Tier:       core.TierPolicy{Mode: core.TierAuto},
 	}
 }
 
@@ -199,7 +209,9 @@ func (cfg Config) executor(fn *ir.Func, opts core.Options) *core.Executor {
 	} else {
 		p = core.Compile(fn, opts)
 	}
-	return core.NewExecutor(p)
+	ex := core.NewExecutor(p)
+	ex.SetTier(cfg.Tier)
+	return ex
 }
 
 // behaviorsAt is the enumeration core: it sweeps the oracle through
@@ -240,6 +252,13 @@ func behaviorsAt(fn *ir.Func, ex *core.Executor, args []core.Value, ordinal int,
 		opts.Fuel = cfg.Fuel
 	}
 	execs := 0
+	// Concrete return values repeat heavily across an oracle sweep
+	// (most functions have far fewer distinct results than executions),
+	// and Value.Key() allocates a string every call. Dedupe through a
+	// small linear-scan cache first so the Key()+map-insert cost is
+	// paid once per distinct value, not once per execution.
+	var seen [8]core.Value
+	nseen := 0
 	for {
 		if execs >= cfg.MaxExecs {
 			set.Incomplete = true
@@ -270,10 +289,23 @@ func behaviorsAt(fn *ir.Func, ex *core.Executor, args []core.Value, ordinal int,
 			case !out.Val.IsConcrete():
 				set.Undef = true
 			default:
-				if set.Rets == nil {
-					set.Rets = make(map[string]bool, 4)
+				dup := false
+				for i := 0; i < nseen; i++ {
+					if seen[i].Equal(out.Val) {
+						dup = true
+						break
+					}
 				}
-				set.Rets[out.Val.Key()] = true
+				if !dup {
+					if nseen < len(seen) {
+						seen[nseen] = out.Val
+						nseen++
+					}
+					if set.Rets == nil {
+						set.Rets = make(map[string]bool, 4)
+					}
+					set.Rets[out.Val.Key()] = true
+				}
 			}
 		}
 		if !o.Next() {

@@ -108,9 +108,10 @@ type DebugServer struct {
 }
 
 // StartDebugServer listens on addr and serves DebugMux(reg) in the
-// background, recording a snapshot into the history every interval
-// (default 5s when interval <= 0). Close shuts both down.
-func StartDebugServer(addr string, reg *Registry, interval time.Duration) (*DebugServer, error) {
+// background, recording a snapshot into a ring-buffered history every
+// interval (default 5s when interval <= 0; ring <= 0 means the
+// default NewSnapshotHistory depth). Close shuts both down.
+func StartDebugServer(addr string, reg *Registry, interval time.Duration, ring int) (*DebugServer, error) {
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}
@@ -118,7 +119,7 @@ func StartDebugServer(addr string, reg *Registry, interval time.Duration) (*Debu
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: debug server listen %s: %w", addr, err)
 	}
-	hist := NewSnapshotHistory(0)
+	hist := NewSnapshotHistory(ring)
 	ds := &DebugServer{
 		Addr: ln.Addr().String(),
 		srv:  &http.Server{Handler: DebugMux(reg, hist)},

@@ -82,7 +82,7 @@ func TestSnapshotHistoryRing(t *testing.T) {
 func TestStartDebugServer(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("up_total", Deterministic, "").Inc()
-	ds, err := StartDebugServer("127.0.0.1:0", r, 10*time.Millisecond)
+	ds, err := StartDebugServer("127.0.0.1:0", r, 10*time.Millisecond, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
