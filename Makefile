@@ -7,8 +7,11 @@ all: check
 build:
 	$(GO) build ./...
 
+# staticcheck is optional: run it when the host has it, skip quietly
+# when not (the CI image installs it; a bare container need not).
 vet: build
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "vet: staticcheck not installed, skipping"; fi
 
 test: vet
 	$(GO) test ./...
@@ -43,11 +46,28 @@ check: build vet test race
 # auto-promotion threshold, where the memoized freeze sweep does
 # not). The JSON twin of that snapshot lands in metrics-snapshot.json
 # for the workflow artifact.
+#
+# The poison-analysis guards run after that: tame-lint over the
+# freeze-elim corpus (verifier + SSA + dataflow diagnostics must be
+# clean), a full -O2 under -verify-each over a CFG with loop-carried
+# freezes — asserting the analysis was queried, freeze-elim actually
+# deleted something the local operand walk cannot (a freeze behind a
+# loop phi), every between-pass checker battery ran, and the failure
+# counter is present AND zero ("=0") — and the soundness oracle
+# sweeping the whole 1-instruction freeze-dialect space, cross-checking
+# every static NeverPoison claim against concrete enumeration (exit 1
+# on any violation). The legacy quick campaign also runs under
+# -verify-each so the battery covers the legacy dialect too.
 ci: vet test
 	$(GO) test -race ./internal/passes ./internal/optfuzz
 	$(GO) test -race -run 'Memo|Compiled|ProgramShared|ExecTwins|Lowering|Fold|Superblock|TierPromotion' ./internal/refine ./internal/core ./internal/core/bytecode ./internal/bench
 	$(GO) test -race -run 'TelemetryRaceStress' ./internal/telemetry
 	$(GO) run ./cmd/tame-bench -exp exec -quick -json BENCH_exec.json
-	$(GO) run ./cmd/tame-fuzz -validate -n 200 -workers 2 -sem legacy -metrics - \
-	  | $(GO) run ./cmd/tame-metrics -check 'campaign_funcs_total,campaign_verified_total,check_checks_total,check_inputs_total,check_set_size,engine_steps_total,engine_execs_bytecode_total>0,engine_promotions_total>0,progcache_hits_total,memo_lookups_total,pool_tasks_total,pass_runs_total,opt_funcs_total,analysis_computes_total,span_wall_ns'
-	$(GO) run ./cmd/tame-fuzz -validate -n 200 -workers 2 -sem legacy -metrics metrics-snapshot.json
+	$(GO) run ./cmd/tame-fuzz -validate -verify-each -n 200 -workers 2 -sem legacy -metrics - \
+	  | $(GO) run ./cmd/tame-metrics -check 'campaign_funcs_total,campaign_verified_total,check_checks_total,check_inputs_total,check_set_size,engine_steps_total,engine_execs_bytecode_total>0,engine_promotions_total>0,progcache_hits_total,memo_lookups_total,pool_tasks_total,pass_runs_total,opt_funcs_total,analysis_computes_total,span_wall_ns,verify_each_checks_total>0,verify_each_failures_total=0'
+	$(GO) run ./cmd/tame-fuzz -validate -verify-each -n 200 -workers 2 -sem legacy -metrics metrics-snapshot.json
+	$(GO) run ./cmd/tame-lint -q internal/passes/testdata/freeze-elim-loop.ll
+	$(GO) run ./cmd/tame-opt -sem freeze -verify-each -metrics metrics-verify-each.txt internal/passes/testdata/freeze-elim-loop.ll > /dev/null
+	$(GO) run ./cmd/tame-metrics -check 'analysis_poison_queries_total>0,passes_freeze_elim_removed_total>0,verify_each_checks_total>0,verify_each_failures_total=0' metrics-verify-each.txt
+	$(GO) run ./cmd/tame-fuzz -poison-oracle -instrs 1 -n 0 -sem freeze -workers 2 -metrics - \
+	  | $(GO) run ./cmd/tame-metrics -check 'poison_oracle_funcs_total>0,poison_oracle_claims_total>0,poison_oracle_execs_total>0,poison_oracle_violations_total=0'

@@ -105,6 +105,12 @@ func main() {
 			rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, w, true, true, true))
 		}
 		bench.ReportPipeline(os.Stdout, "fixed passes, -O2, freeze semantics", rows)
+		fmt.Println()
+		// Ablation pair: the same freeze-dialect campaign with and
+		// without the poison-analysis-backed freeze-elim pass.
+		fe := bench.MeasureFreezeElim(*valInstrs, *valMax, 1)
+		bench.ReportFreezeElim(os.Stdout, fe)
+		rows = append(rows, fe...)
 		if *jsonPath != "" {
 			out, err := json.MarshalIndent(rows, "", "  ")
 			if err != nil {

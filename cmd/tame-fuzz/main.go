@@ -7,13 +7,24 @@
 //
 //	tame-fuzz [-mode exhaustive|random] [-instrs N] [-n MAX] [-seed S] [-width W]
 //	tame-fuzz -validate [-passes p1,p2|o2] [-sem legacy|freeze] [-unsound]
-//	          [-workers N] [-no-memo] [-stats] [-instrs N] [-n MAX] [-width W]
+//	          [-verify-each] [-workers N] [-no-memo] [-stats]
+//	          [-instrs N] [-n MAX] [-width W]
+//	tame-fuzz -poison-oracle [-sem legacy|freeze] [-workers N]
+//	          [-instrs N] [-n MAX] [-width W] [-metrics file|-]
 //
 // Without -validate each generated function is printed to stdout,
 // separated by blank lines — pipe into tame-opt or tame-tv. With
 // -validate the campaign runs on a worker pool (-workers 0 = one per
 // CPU, 1 = serial) and reports findings plus throughput; the findings
-// are byte-identical for every worker count.
+// are byte-identical for every worker count. -verify-each additionally
+// runs the full checker battery (IR verifier, SSA dominance, analysis
+// cache coherence) between every pass step of the campaign pipeline.
+//
+// With -poison-oracle the same exhaustive function space is swept by
+// the poison-analysis soundness oracle instead: every value the
+// flow-sensitive dataflow claims NeverPoison is cross-checked against
+// concrete enumeration of input tuples and nondeterministic
+// resolutions. Any violation is printed and the exit status is 1.
 //
 // Observability flags (with -validate):
 //
@@ -53,6 +64,8 @@ func main() {
 	passList := flag.String("passes", "o2", "comma-separated passes to validate, or o2")
 	sem := flag.String("sem", "freeze", "semantics: legacy or freeze")
 	unsound := flag.Bool("unsound", false, "use the historical (buggy) pass variants")
+	verifyEach := flag.Bool("verify-each", false, "run the full checker battery after every pass step of the campaign pipeline")
+	poisonOracle := flag.Bool("poison-oracle", false, "cross-check every NeverPoison claim of the dataflow analysis against concrete enumeration")
 	workers := flag.Int("workers", 1, "worker pool size (0 = one per CPU, 1 = serial)")
 	noMemo := flag.Bool("no-memo", false, "disable the behaviour-set memo cache")
 	optStats := flag.Bool("stats", false, "report per-pass change counts and timing after a -validate run")
@@ -64,11 +77,19 @@ func main() {
 	tier := flag.String("tier", "", "execution tier for -validate: off (interpreter), closure, auto or bytecode (default auto)")
 	flag.Parse()
 
+	if *poisonOracle {
+		runPoisonOracle(poisonOracleFlags{
+			instrs: *instrs, n: *n, width: *width, sem: *sem,
+			workers: *workers, metricsPath: *metricsPath,
+		})
+		return
+	}
 	if *validate {
 		runCampaign(campaignFlags{
 			instrs: *instrs, n: *n, width: *width,
 			passList: *passList, sem: *sem, unsound: *unsound,
-			workers: *workers, noMemo: *noMemo, optStats: *optStats,
+			verifyEach: *verifyEach,
+			workers:    *workers, noMemo: *noMemo, optStats: *optStats,
 			metricsPath: *metricsPath, progress: *progress, debugAddr: *debugAddr,
 			debugSnapEvery: *debugSnapEvery, debugSnapRing: *debugSnapRing,
 			tier: *tier,
@@ -104,6 +125,7 @@ type campaignFlags struct {
 	width            uint
 	passList, sem    string
 	unsound          bool
+	verifyEach       bool
 	workers          int
 	noMemo, optStats bool
 	metricsPath      string
@@ -143,6 +165,9 @@ func runCampaign(fl campaignFlags) {
 		}
 	}
 	pm.Instrument()
+	// Clone preserves VerifyEach, so every per-shard pipeline copy runs
+	// the battery too.
+	pm.VerifyEach = fl.verifyEach
 
 	gen := optfuzz.DefaultConfig(fl.instrs)
 	gen.Width = fl.width
@@ -246,6 +271,66 @@ func runCampaign(fl campaignFlags) {
 		}
 	}
 	if st.Refuted > 0 {
+		os.Exit(1)
+	}
+}
+
+type poisonOracleFlags struct {
+	instrs, n   int
+	width       uint
+	sem         string
+	workers     int
+	metricsPath string
+}
+
+// runPoisonOracle sweeps the exhaustive function space checking every
+// static NeverPoison claim against concrete enumeration — the campaign
+// soundness oracle for the dataflow analysis itself, independent of any
+// optimization pipeline.
+func runPoisonOracle(fl poisonOracleFlags) {
+	var opts core.Options
+	switch fl.sem {
+	case "freeze":
+		opts = core.FreezeOptions()
+	case "legacy":
+		opts = core.LegacyOptions(core.BranchPoisonNondet)
+	default:
+		fatal(fmt.Errorf("unknown semantics %q", fl.sem))
+	}
+
+	gen := optfuzz.DefaultConfig(fl.instrs)
+	gen.Width = fl.width
+	gen.MaxFuncs = fl.n
+	if opts.Mode == core.Freeze {
+		// Undef is not part of the freeze dialect.
+		gen.AllowUndef = false
+		gen.AllowPoison = true
+	}
+
+	po := optfuzz.PoisonOracle{Gen: gen, Sem: opts, Workers: fl.workers}
+	var reg *telemetry.Registry
+	if fl.metricsPath != "" {
+		reg = telemetry.NewRegistry()
+		po.Telemetry = reg
+	}
+
+	start := time.Now()
+	st := po.Run()
+	elapsed := time.Since(start)
+
+	for _, v := range st.Violations {
+		fmt.Println(v)
+	}
+	fmt.Fprintf(os.Stderr,
+		"tame-fuzz: poison oracle: %d funcs, %d never-poison claims, %d execs in %s (workers=%d, %d incomplete sweeps): %d violations\n",
+		st.Funcs, st.Claims, st.Execs, elapsed.Round(time.Millisecond),
+		fl.workers, st.Incomplete, len(st.Violations))
+	if fl.metricsPath != "" {
+		if err := reg.Snapshot().WriteFile(fl.metricsPath); err != nil {
+			fatal(err)
+		}
+	}
+	if len(st.Violations) > 0 {
 		os.Exit(1)
 	}
 }

@@ -14,8 +14,12 @@
 // A name suffixed with ">0" (engine_promotions_total>0) additionally
 // requires some matching sample to be positive — how CI asserts that
 // tier promotion actually happened, not just that the counter was
-// registered. Without -check, the parsed series names and values are
-// listed — a quick way to see what a snapshot holds.
+// registered. A name suffixed with "=0" (verify_each_failures_total=0)
+// requires the series to be present AND every matching sample to be
+// zero — how CI asserts a failure counter was exported and stayed
+// clean, distinguishing "no failures" from "counter never registered".
+// Without -check, the parsed series names and values are listed — a
+// quick way to see what a snapshot holds.
 package main
 
 import (
@@ -88,7 +92,8 @@ func main() {
 			continue
 		}
 		name, nonzero := strings.CutSuffix(want, ">0")
-		if !present(values, name, nonzero) {
+		name, zero := strings.CutSuffix(name, "=0")
+		if !satisfied(values, name, nonzero, zero) {
 			missing = append(missing, want)
 		}
 	}
@@ -98,19 +103,33 @@ func main() {
 	fmt.Printf("tame-metrics: %d series, all required keys present\n", len(values))
 }
 
-// present reports whether name (or a labelled / histogram-suffixed
-// child of it) exists in the parsed snapshot; with nonzero set, some
-// matching sample must also be positive.
-func present(values map[string]int64, name string, nonzero bool) bool {
-	if v, ok := values[name]; ok && (!nonzero || v > 0) {
-		return true
-	}
+// satisfied reports whether name (or a labelled / histogram-suffixed
+// child of it) exists in the parsed snapshot and meets the value
+// assertion: with nonzero set, some matching sample must be positive;
+// with zero set, every matching sample must be zero (presence still
+// required, so a never-registered counter fails rather than passing
+// vacuously).
+func satisfied(values map[string]int64, name string, nonzero, zero bool) bool {
+	found, positive := false, false
 	for k, v := range values {
-		if (strings.HasPrefix(k, name+"{") || strings.HasPrefix(k, name+"_")) && (!nonzero || v > 0) {
-			return true
+		if k != name && !strings.HasPrefix(k, name+"{") && !strings.HasPrefix(k, name+"_") {
+			continue
+		}
+		found = true
+		if v != 0 {
+			positive = true
 		}
 	}
-	return false
+	if !found {
+		return false
+	}
+	if nonzero {
+		return positive
+	}
+	if zero {
+		return !positive
+	}
+	return true
 }
 
 func fatal(err error) {

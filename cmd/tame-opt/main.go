@@ -3,7 +3,7 @@
 // Usage:
 //
 //	tame-opt [-sem legacy|freeze] [-passes p1,p2,...|O2] [-unsound]
-//	         [-time-passes] [-stats] [-print-changed] [file]
+//	         [-verify-each] [-time-passes] [-stats] [-print-changed] [file]
 //
 // Reads the module from file (or stdin), runs the passes, prints the
 // transformed module. -passes O2 runs the standard pipeline to fixed
@@ -29,6 +29,7 @@ func main() {
 	passList := flag.String("passes", "O2", "comma-separated pass names, or O2")
 	unsound := flag.Bool("unsound", false, "use the historical (pre-paper) pass variants")
 	verify := flag.Bool("verify", true, "verify IR after every pass")
+	verifyEach := flag.Bool("verify-each", false, "run the full checker battery after every pass: IR verifier, SSA dominance, analysis cache coherence")
 	timePasses := flag.Bool("time-passes", false, "report per-pass wall time to stderr")
 	stats := flag.Bool("stats", false, "report per-pass change counts and analysis-cache counters to stderr")
 	printChanged := flag.Bool("print-changed", false, "dump IR to stderr after every pass that changed it")
@@ -77,7 +78,10 @@ func main() {
 			fatal(err)
 		}
 	}
-	if *timePasses || *stats || *metricsPath != "" {
+	pm.VerifyEach = *verifyEach
+	if *timePasses || *stats || *metricsPath != "" || *verifyEach {
+		// -verify-each instruments too, so the checks/failures counters
+		// land in the snapshot even without -stats.
 		pm.Instrument()
 	}
 	if *printChanged {

@@ -469,3 +469,71 @@ m:
 		t.Error("phi incoming from wrong edge was accepted")
 	}
 }
+
+func TestVerifySSAUnreachableBlocks(t *testing.T) {
+	// Dominance is undefined in unreachable code, so the checker must
+	// exempt it entirely: a use-before-def inside an unreachable block
+	// (and an unreachable cycle) is accepted, exactly as LLVM's
+	// verifier accepts garbage in dead blocks.
+	f := ir.MustParseFunc(`define i32 @f() {
+entry:
+  ret i32 0
+dead:
+  %y = add i32 %z, 1
+  %z = add i32 1, 2
+  br label %dead2
+dead2:
+  br label %dead
+}`)
+	if err := VerifySSA(f); err != nil {
+		t.Errorf("use-before-def in unreachable code rejected: %v", err)
+	}
+	// A phi in reachable code with an incoming from an unreachable
+	// predecessor edge: the edge never executes, so the incoming value
+	// is exempt from the dominance check.
+	g := ir.MustParseFunc(`define i32 @g(i1 %c) {
+entry:
+  br label %m
+dead:
+  %x = add i32 1, 2
+  br label %m
+m:
+  %y = phi i32 [ 0, %entry ], [ %x, %dead ]
+  ret i32 %y
+}`)
+	if err := VerifySSA(g); err != nil {
+		t.Errorf("phi incoming over an unreachable edge rejected: %v", err)
+	}
+}
+
+func TestVerifySSASelfReferentialPhi(t *testing.T) {
+	// A phi may use itself through a backedge: the def dominates the
+	// latch terminator, so the edge-based rule accepts it.
+	ok := ir.MustParseFunc(`define i8 @f(i1 %c) {
+entry:
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %i, %latch ]
+  br i1 %c, label %latch, label %exit
+latch:
+  br label %head
+exit:
+  ret i8 %i
+}`)
+	if err := VerifySSA(ok); err != nil {
+		t.Errorf("self-referential phi over a backedge rejected: %v", err)
+	}
+	// But a phi may NOT use itself on an edge it does not dominate:
+	// %i's self-incoming from entry reads a value that has never been
+	// defined on that path.
+	bad := ir.MustParseFunc(`define i8 @g(i1 %c) {
+entry:
+  br i1 %c, label %head, label %head
+head:
+  %i = phi i8 [ %i, %entry ], [ %i, %entry ]
+  ret i8 %i
+}`)
+	if err := VerifySSA(bad); err == nil {
+		t.Error("phi consuming itself on the entry edge was accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"strings"
 
 	"tameir/internal/ir"
@@ -20,12 +21,19 @@ const (
 	Doms
 	// Loops is the natural-loop forest.
 	Loops
+	// Poison is the flow-sensitive poison-lattice fact table
+	// (AnalyzePoison). Deliberately NOT part of All: the block-level
+	// analyses survive passes that only rewrite instructions in place,
+	// but poison facts are per-value and go stale on any instruction
+	// change, so no pass preserves them — they are recomputed lazily
+	// after every change.
+	Poison
 )
 
 // None and All are the two common preserved-set declarations: a pass
 // that rewires control flow preserves None; a pass that only touches
 // instructions within existing blocks (no edge or block changes)
-// preserves All.
+// preserves All. (All excludes Poison — see its comment.)
 const (
 	None Set = 0
 	All  Set = CFG | Doms | Loops
@@ -49,6 +57,9 @@ func (s Set) String() string {
 	if s.Has(Loops) {
 		parts = append(parts, "loopinfo")
 	}
+	if s.Has(Poison) {
+		parts = append(parts, "poison")
+	}
 	return strings.Join(parts, "|")
 }
 
@@ -59,12 +70,17 @@ func (s Set) String() string {
 type Stats struct {
 	Computes uint64
 	Hits     uint64
+	// PoisonQueries counts Fact/NeverPoison/NeverPoisonAt queries
+	// answered by manager-owned poison facts (the analysis is only
+	// worth its fixpoint if consumers actually query it).
+	PoisonQueries uint64
 }
 
 // Add accumulates o into s (for merging per-shard managers).
 func (s *Stats) Add(o Stats) {
 	s.Computes += o.Computes
 	s.Hits += o.Hits
+	s.PoisonQueries += o.PoisonQueries
 }
 
 // Manager caches the function-level analyses (predecessor map,
@@ -78,11 +94,12 @@ func (s *Stats) Add(o Stats) {
 // gives every worker its own manager, like every other piece of
 // per-shard state.
 type Manager struct {
-	fn    *ir.Func
-	preds map[*ir.Block][]*ir.Block
-	dt    *DomTree
-	li    *LoopInfo
-	stats Stats
+	fn     *ir.Func
+	preds  map[*ir.Block][]*ir.Block
+	dt     *DomTree
+	li     *LoopInfo
+	poison *PoisonFacts
+	stats  Stats
 }
 
 // NewManager returns an empty manager for f.
@@ -128,14 +145,31 @@ func (m *Manager) LoopInfo() *LoopInfo {
 	return m.li
 }
 
+// Poison returns the cached flow-sensitive poison facts, running the
+// dataflow to fixpoint on first use. Query counts are accumulated into
+// the manager's Stats so eviction cannot lose them.
+func (m *Manager) Poison() *PoisonFacts {
+	if m.poison == nil {
+		m.stats.Computes++
+		m.poison = AnalyzePoison(m.fn)
+		m.poison.SetQueryCounter(&m.stats.PoisonQueries)
+	} else {
+		m.stats.Hits++
+	}
+	return m.poison
+}
+
 // Invalidate evicts every cached analysis not in preserved. Dependent
 // analyses are evicted with their inputs: dropping the CFG drops the
 // dominator tree, and dropping the dominator tree drops loop info (a
 // cached derived result over an evicted input would silently go stale).
+// Poison facts additionally depend on the instruction graph itself, so
+// they survive only a pass that explicitly preserves Poison — All does
+// not include it.
 func (m *Manager) Invalidate(preserved Set) {
 	if !preserved.Has(CFG) {
 		m.preds = nil
-		preserved &^= Doms | Loops
+		preserved &^= Doms | Loops | Poison
 	}
 	if !preserved.Has(Doms) {
 		m.dt = nil
@@ -143,6 +177,9 @@ func (m *Manager) Invalidate(preserved Set) {
 	}
 	if !preserved.Has(Loops) {
 		m.li = nil
+	}
+	if !preserved.Has(Poison) {
+		m.poison = nil
 	}
 }
 
@@ -162,8 +199,79 @@ func (m *Manager) Cached(s Set) bool {
 	if s.Has(Loops) && m.li == nil {
 		return false
 	}
+	if s.Has(Poison) && m.poison == nil {
+		return false
+	}
 	return true
 }
 
 // Stats returns the compute/hit counters accumulated so far.
 func (m *Manager) Stats() Stats { return m.stats }
+
+// CheckInvariants recomputes every currently cached analysis from
+// scratch and compares it against the cached copy. A mismatch means
+// some pass mutated the IR but declared a preserved-set that kept a
+// now-stale analysis alive — the silent-miscompile precursor the
+// -verify-each mode exists to catch. Analyses that are not cached are
+// skipped (nothing can be stale about them). Returns nil when every
+// cached analysis matches a fresh recomputation.
+func (m *Manager) CheckInvariants() error {
+	if m.preds != nil {
+		fresh := Preds(m.fn)
+		if len(fresh) != len(m.preds) {
+			return fmt.Errorf("analysis: stale predecessor map on @%s: %d blocks cached, %d fresh", m.fn.Name(), len(m.preds), len(fresh))
+		}
+		for b, fp := range fresh {
+			cp, ok := m.preds[b]
+			if !ok || len(cp) != len(fp) {
+				return fmt.Errorf("analysis: stale predecessor map on @%s at %%%s", m.fn.Name(), b.Name())
+			}
+			for i := range fp {
+				if cp[i] != fp[i] {
+					return fmt.Errorf("analysis: stale predecessor map on @%s at %%%s", m.fn.Name(), b.Name())
+				}
+			}
+		}
+	}
+	if m.dt != nil {
+		fresh := NewDomTree(m.fn)
+		for _, b := range m.fn.Blocks {
+			if m.dt.IDom(b) != fresh.IDom(b) {
+				return fmt.Errorf("analysis: stale dominator tree on @%s: idom(%%%s) cached %v, fresh %v", m.fn.Name(), b.Name(), blockName(m.dt.IDom(b)), blockName(fresh.IDom(b)))
+			}
+		}
+	}
+	if m.li != nil {
+		fresh := FindLoops(m.fn, NewDomTree(m.fn))
+		if len(fresh.Loops) != len(m.li.Loops) {
+			return fmt.Errorf("analysis: stale loop info on @%s: %d loops cached, %d fresh", m.fn.Name(), len(m.li.Loops), len(fresh.Loops))
+		}
+		for _, b := range m.fn.Blocks {
+			ch, fh := loopHeader(m.li.LoopFor(b)), loopHeader(fresh.LoopFor(b))
+			if ch != fh {
+				return fmt.Errorf("analysis: stale loop info on @%s: innermost loop of %%%s changed", m.fn.Name(), b.Name())
+			}
+		}
+	}
+	if m.poison != nil {
+		fresh := AnalyzePoison(m.fn)
+		if !m.poison.equalFacts(fresh) {
+			return fmt.Errorf("analysis: stale poison facts on @%s: cached lattice disagrees with a fresh fixpoint", m.fn.Name())
+		}
+	}
+	return nil
+}
+
+func blockName(b *ir.Block) string {
+	if b == nil {
+		return "<nil>"
+	}
+	return "%" + b.Name()
+}
+
+func loopHeader(l *Loop) *ir.Block {
+	if l == nil {
+		return nil
+	}
+	return l.Header
+}

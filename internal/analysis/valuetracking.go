@@ -2,19 +2,36 @@ package analysis
 
 import "tameir/internal/ir"
 
-// maxPoisonDepth bounds the recursion of IsGuaranteedNotToBePoison.
-const maxPoisonDepth = 8
-
 // IsGuaranteedNotToBePoison conservatively reports whether v can never
 // be poison (nor, under legacy semantics, undef — the query is used to
 // justify speculation, and undef is no safer there). Function
 // parameters may always be poison; the paper's Section 10 notes LLVM
 // could change that, which would strengthen this analysis.
+//
+// The walk memoizes per-value results, so shared subexpressions are
+// classified once per query no matter how many paths reach them, and a
+// deep-but-narrow chain (a tower of freezes, a long cast chain) cannot
+// exhaust an arbitrary depth budget: the cost is linear in the distinct
+// values reachable from v. For CFG-level facts (phis, loop-carried
+// values), use AnalyzePoison instead.
 func IsGuaranteedNotToBePoison(v ir.Value) bool {
-	return notPoison(v, maxPoisonDepth)
+	return notPoison(v, make(map[ir.Value]bool))
 }
 
-func notPoison(v ir.Value, depth int) bool {
+func notPoison(v ir.Value, memo map[ir.Value]bool) bool {
+	if r, ok := memo[v]; ok {
+		return r
+	}
+	// Seed the in-progress entry conservatively: a cyclic operand chain
+	// (malformed IR, or a phi-free loop of uses) terminates with "may be
+	// poison" instead of recursing forever.
+	memo[v] = false
+	r := notPoisonUncached(v, memo)
+	memo[v] = r
+	return r
+}
+
+func notPoisonUncached(v ir.Value, memo map[ir.Value]bool) bool {
 	switch x := v.(type) {
 	case *ir.Const, *ir.Global:
 		return true
@@ -22,7 +39,7 @@ func notPoison(v ir.Value, depth int) bool {
 		return false
 	case *ir.VecConst:
 		for _, e := range x.Elems {
-			if !notPoison(e, depth) {
+			if !notPoison(e, memo) {
 				return false
 			}
 		}
@@ -30,9 +47,6 @@ func notPoison(v ir.Value, depth int) bool {
 	case *ir.Param:
 		return false
 	case *ir.Instr:
-		if depth == 0 {
-			return false
-		}
 		switch {
 		case x.Op == ir.OpFreeze:
 			return true
@@ -47,20 +61,20 @@ func notPoison(v ir.Value, depth int) bool {
 			if x.Op.IsShift() && !shiftAmountInRange(x) {
 				return false
 			}
-			return notPoison(x.Arg(0), depth-1) && notPoison(x.Arg(1), depth-1)
+			return notPoison(x.Arg(0), memo) && notPoison(x.Arg(1), memo)
 		case x.Op == ir.OpICmp:
-			return notPoison(x.Arg(0), depth-1) && notPoison(x.Arg(1), depth-1)
+			return notPoison(x.Arg(0), memo) && notPoison(x.Arg(1), memo)
 		case x.Op == ir.OpZExt, x.Op == ir.OpSExt, x.Op == ir.OpTrunc, x.Op == ir.OpBitcast:
-			return notPoison(x.Arg(0), depth-1)
+			return notPoison(x.Arg(0), memo)
 		case x.Op == ir.OpSelect:
 			// Needs condition and both arms clean (the chosen arm is
 			// input-dependent).
-			return notPoison(x.Arg(0), depth-1) && notPoison(x.Arg(1), depth-1) && notPoison(x.Arg(2), depth-1)
+			return notPoison(x.Arg(0), memo) && notPoison(x.Arg(1), memo) && notPoison(x.Arg(2), memo)
 		case x.Op == ir.OpGEP:
 			if x.Attrs&ir.NSW != 0 {
 				return false
 			}
-			return notPoison(x.Arg(0), depth-1) && notPoison(x.Arg(1), depth-1)
+			return notPoison(x.Arg(0), memo) && notPoison(x.Arg(1), memo)
 		case x.Op == ir.OpPhi:
 			// Conservative: would need edge-sensitive reasoning.
 			return false

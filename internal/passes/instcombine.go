@@ -141,7 +141,13 @@ func combineUDiv(f *ir.Func, in *ir.Instr, cfg *Config) bool {
 	// bit set), since then a/C ∈ {0,1}. Requires select-on-poison to
 	// not be UB — true under Figure 5, historically contested.
 	if c.Bits>>(w-1) != 0 && c.Bits&(c.Bits-1) != 0 {
-		if cfg.Sem.SelectPoisonCond == core.SelectPoisonCondUB && !cfg.Unsound {
+		if cfg.Sem.SelectPoisonCond == core.SelectPoisonCondUB && !cfg.Unsound &&
+			// Poison %a makes the source merely poison but the target
+			// UB (icmp of poison is poison, select on poison cond
+			// traps) — not a refinement. When %a is provably never
+			// poison the contested case is unreachable and the rewrite
+			// is sound even under select-cond-UB.
+			!analysis.IsGuaranteedNotToBePoison(x) {
 			return false // would introduce UB on poison %a
 		}
 		cmp := ir.NewInstr(ir.OpICmp, ir.I1, x, c)

@@ -130,9 +130,13 @@ func simplifyBinop(in *ir.Instr) (ir.Value, bool) {
 		if isZeroConst(y) {
 			return x, true
 		}
-		if isZeroConst(x) && in.Attrs == 0 {
+		if isZeroConst(x) {
 			// 0 shifted is 0 unless the amount over-shifts (deferred
-			// UB ⊒ 0, still sound) — and exact flags are vacuous on 0.
+			// UB ⊒ 0, still sound). The poison-generating flags are all
+			// vacuous on a zero LHS — 0 << k never overflows (nsw/nuw)
+			// and never discards set bits (exact) — so, unlike the
+			// general flagged-shift case, no may-be-poison bail is
+			// needed here.
 			return ir.ConstInt(in.Ty, 0), true
 		}
 	case ir.OpUDiv, ir.OpSDiv:
@@ -185,6 +189,19 @@ func simplifySelect(in *ir.Instr) (ir.Value, bool) {
 	// 5) or poison/UB (legacy readings); x ⊑ all of them.
 	if valueEq(in.Arg(1), in.Arg(2)) {
 		return in.Arg(1), true
+	}
+	// select c, x, poison = x (and symmetrically): when the poison arm
+	// would be picked the source is poison — or already poison/UB via
+	// the either-arm and cond-poison knobs — and anything refines
+	// poison, so the other arm always does. Unlike the historical
+	// select-undef fold (§3.4, which this rule deliberately does not
+	// subsume), poison is the top of the refinement order, so no
+	// may-be-poison bail is needed on any knob.
+	if _, isP := in.Arg(2).(*ir.Poison); isP {
+		return in.Arg(1), true
+	}
+	if _, isP := in.Arg(1).(*ir.Poison); isP {
+		return in.Arg(2), true
 	}
 	return nil, false
 }

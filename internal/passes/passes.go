@@ -152,6 +152,15 @@ type PassManager struct {
 	// PrintChanged, when non-nil, receives an IR dump after every pass
 	// that reports a change.
 	PrintChanged io.Writer
+	// VerifyEach runs the full checker battery between every pass step:
+	// the IR verifier for the configured semantics, the SSA dominance
+	// checker, and the analysis cache-coherence invariant (every
+	// still-cached analysis must match a fresh recomputation — a
+	// mismatch means a pass mutated the IR beyond its declared
+	// preserved-set). Failures increment the verify_each_failures_total
+	// counter and panic; checks are counted in verify_each_checks_total.
+	// Subsumes Config.VerifyAfterEach when set.
+	VerifyEach bool
 }
 
 // NewPassManager resolves names through the registry into a pass
@@ -284,7 +293,7 @@ func (pm *PassManager) runStep(p Pass, f *ir.Func, cfg *Config, am *AnalysisMana
 	if pm.Stats != nil {
 		pm.Stats.record(p.Name(), changed, time.Since(start), before-f.NumInstrs())
 	}
-	if cfg.VerifyAfterEach {
+	if cfg.VerifyAfterEach && !pm.VerifyEach {
 		verifyAfter(p.Name(), f, cfg)
 	}
 	if changed && pm.PrintChanged != nil {
@@ -295,7 +304,36 @@ func (pm *PassManager) runStep(p Pass, f *ir.Func, cfg *Config, am *AnalysisMana
 	} else if changed {
 		am.Invalidate(Preserved(p.Name()))
 	}
+	if pm.VerifyEach {
+		// After invalidation on purpose: what survives in the cache is
+		// exactly what the pass claimed to preserve, so the coherence
+		// check tests the preserved-set declaration itself.
+		pm.verifyEachStep(p.Name(), f, cfg, am)
+	}
 	return changed
+}
+
+// verifyEachStep is the -verify-each battery for one pass step. It
+// panics on the first failure (like VerifyAfterEach) after bumping the
+// failure counter, so a metrics snapshot written by a recovering caller
+// still records the event.
+func (pm *PassManager) verifyEachStep(pass string, f *ir.Func, cfg *Config, am *AnalysisManager) {
+	if pm.Stats != nil {
+		pm.Stats.verifyChecks.Inc()
+	}
+	err := ir.Verify(f, cfg.verifyMode())
+	if err == nil {
+		err = analysis.VerifySSA(f)
+	}
+	if err == nil {
+		err = am.CheckInvariants()
+	}
+	if err != nil {
+		if pm.Stats != nil {
+			pm.Stats.verifyFailures.Inc()
+		}
+		panic(fmt.Sprintf("passes: -verify-each after %s on @%s: %v\n%s", pass, f.Name(), err, f))
+	}
 }
 
 func contains(xs []string, s string) bool {
@@ -310,14 +348,41 @@ func contains(xs []string, s string) bool {
 // O2 returns the standard optimization pipeline, approximating the
 // paper's "-O2 compiler flag" collection: canonicalize, scalarize
 // memory, peephole, CFG cleanup, value numbering, loop optimizations,
-// constant propagation, reassociation, and final cleanups.
+// constant propagation, reassociation, and final cleanups. freeze-elim
+// runs twice — after the mid-pipeline instcombine (so the loop passes
+// see through the freezes migrate/unswitch inserted) and again before
+// the dead-code sweeps; under freeze-blind configs both are no-ops.
 func O2() *PassManager {
-	pm, err := NewPassManager(
+	return mustPassManager(o2Names(true))
+}
+
+// O2WithoutFreezeElim is the same pipeline minus the freeze-elim
+// cleanups — the ablation baseline for the BENCH_pipeline.json rows
+// that measure what deleting provably redundant freezes buys.
+func O2WithoutFreezeElim() *PassManager {
+	return mustPassManager(o2Names(false))
+}
+
+func o2Names(freezeElim bool) []string {
+	names := []string{
 		"mem2reg", "inline", "instsimplify", "instcombine", "simplifycfg",
-		"sccp", "gvn", "reassociate", "instcombine", "licm", "loopunswitch",
-		"indvars", "jumpthreading", "simplifycfg", "instcombine", "adce",
-		"dce", "codegenprepare", "dce",
+		"sccp", "gvn", "reassociate", "instcombine",
+	}
+	if freezeElim {
+		names = append(names, "freeze-elim")
+	}
+	names = append(names,
+		"licm", "loopunswitch", "indvars", "jumpthreading", "simplifycfg",
+		"instcombine",
 	)
+	if freezeElim {
+		names = append(names, "freeze-elim")
+	}
+	return append(names, "adce", "dce", "codegenprepare", "dce")
+}
+
+func mustPassManager(names []string) *PassManager {
+	pm, err := NewPassManager(names...)
 	if err != nil {
 		panic(err) // registry is populated by init; a miss is a programming error
 	}

@@ -7,8 +7,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 17 {
-		t.Errorf("registry holds %d passes, want 17: %v", len(names), names)
+	if len(names) != 18 {
+		t.Errorf("registry holds %d passes, want 18: %v", len(names), names)
 	}
 	for _, n := range names {
 		pi, ok := Lookup(n)
@@ -67,6 +67,7 @@ func TestPreservedDeclarations(t *testing.T) {
 		"instcombine":  true,
 		"gvn":          true,
 		"licm":         true,
+		"freeze-elim":  true,
 		"simplifycfg":  false,
 		"sccp":         false,
 		"dce":          false,

@@ -43,6 +43,11 @@ type Stats struct {
 	converged telemetry.Counter
 	aComputes telemetry.Counter
 	aHits     telemetry.Counter
+	aPoisonQ  telemetry.Counter
+
+	verifyChecks   telemetry.Counter
+	verifyFailures telemetry.Counter
+	freezeRemoved  telemetry.Counter
 
 	byName map[string]*passHandles
 	order  []string // first-recorded order: matches pipeline position
@@ -67,7 +72,14 @@ func NewStats() *Stats {
 		converged: reg.Counter("opt_converged_total", telemetry.Deterministic, "functions reaching a true fixpoint"),
 		aComputes: reg.Counter("analysis_computes_total", telemetry.Deterministic, "analyses computed"),
 		aHits:     reg.Counter("analysis_hits_total", telemetry.Deterministic, "analysis cache hits"),
-		byName:    map[string]*passHandles{},
+		aPoisonQ:  reg.Counter("analysis_poison_queries_total", telemetry.Deterministic, "poison-fact queries answered"),
+		// Registered eagerly (not on first event) so a snapshot always
+		// carries them: the CI assertion verify_each_failures_total=0
+		// needs the zero to be visible, not absent.
+		verifyChecks:   reg.Counter("verify_each_checks_total", telemetry.Deterministic, "verify-each batteries run between pass steps"),
+		verifyFailures: reg.Counter("verify_each_failures_total", telemetry.Deterministic, "verify-each batteries that found a violation"),
+		freezeRemoved:  reg.Counter("passes_freeze_elim_removed_total", telemetry.Deterministic, "freeze instructions deleted by freeze-elim"),
+		byName:         map[string]*passHandles{},
 	}
 }
 
@@ -99,6 +111,11 @@ func (s *Stats) record(name string, changed bool, wall time.Duration, instrDelta
 	if changed {
 		h.changed.Inc()
 		h.removed.Add(int64(instrDelta))
+		// freeze-elim only ever deletes freezes, so its instruction
+		// delta IS the number of freezes removed.
+		if name == "freeze-elim" && instrDelta > 0 {
+			s.freezeRemoved.Add(uint64(instrDelta))
+		}
 	}
 }
 
@@ -114,7 +131,16 @@ func (s *Stats) noteFunc(rounds int, converged bool) {
 func (s *Stats) addAnalysis(a analysis.Stats) {
 	s.aComputes.Add(a.Computes)
 	s.aHits.Add(a.Hits)
+	s.aPoisonQ.Add(a.PoisonQueries)
 }
+
+// FreezeElimRemoved is the number of freeze instructions freeze-elim
+// deleted (the BENCH_pipeline.json ablation rows report it).
+func (s *Stats) FreezeElimRemoved() uint64 { return s.freezeRemoved.Value() }
+
+// VerifyEachFailures is the number of verify-each batteries that found
+// a violation (CI asserts this stays zero).
+func (s *Stats) VerifyEachFailures() uint64 { return s.verifyFailures.Value() }
 
 // Funcs is the number of functions run through the pipeline.
 func (s *Stats) Funcs() int { return int(s.funcs.Value()) }

@@ -1,0 +1,17 @@
+; freeze of freeze: the inner freeze already yields a non-poison value,
+; so the outer one is the identity and is deleted. The inner freeze of
+; the raw parameter must survive — replacing it would reintroduce the
+; §3.1 use-count trap.
+; RUN: passes=freeze-elim sem=freeze
+
+define i8 @chain(i8 %x) {
+entry:
+  %f1 = freeze i8 %x
+  %f2 = freeze i8 %f1
+  %f3 = freeze i8 %f2
+  ret i8 %f3
+}
+; CHECK: %f1 = freeze i8 %x
+; CHECK-NEXT: ret i8 %f1
+; CHECK-NOT: %f2
+; CHECK-NOT: %f3

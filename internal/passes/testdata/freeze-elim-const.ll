@@ -1,0 +1,35 @@
+; freeze-elim deletes freezes of provably never-poison operands:
+; constants and attribute-free expressions over already-frozen values.
+; The freeze of the raw parameter must survive.
+; RUN: passes=freeze-elim sem=freeze
+
+define i8 @const_freeze(i8 %p) {
+entry:
+  %fc = freeze i8 5
+  %keep = freeze i8 %p
+  %sum = add i8 %fc, %keep
+  ret i8 %sum
+}
+; CHECK: %keep = freeze i8 %p
+; CHECK-NEXT: %sum = add i8 5, %keep
+; CHECK-NOT: %fc
+
+define i8 @expr_freeze(i8 %p) {
+entry:
+  %f = freeze i8 %p
+  %x = add i8 %f, 1
+  %gone = freeze i8 %x
+  ret i8 %gone
+}
+; CHECK: %x = add i8 %f, 1
+; CHECK-NEXT: ret i8 %x
+; CHECK-NOT: %gone
+
+define i8 @nsw_stays(i8 %p) {
+entry:
+  %f = freeze i8 %p
+  %x = add nsw i8 %f, 1
+  %ff = freeze i8 %x
+  ret i8 %ff
+}
+; CHECK: %ff = freeze i8 %x

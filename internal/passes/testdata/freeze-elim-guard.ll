@@ -1,0 +1,21 @@
+; Branch-condition refinement: under the freeze dialect, branching on
+; poison is immediate UB, so any execution that reaches %t or %e
+; already evaluated %c — and therefore %p — to a non-poison value.
+; Every freeze below the guard is redundant even though %p is may-poison
+; globally.
+; RUN: passes=freeze-elim sem=freeze
+
+define i8 @guarded(i8 %p) {
+entry:
+  %c = icmp eq i8 %p, 0
+  br i1 %c, label %t, label %e
+t:
+  %fp = freeze i8 %p
+  %r = add i8 %fp, 1
+  ret i8 %r
+e:
+  %fq = freeze i8 %p
+  ret i8 %fq
+}
+; CHECK: %r = add i8 %p, 1
+; CHECK-NOT: freeze

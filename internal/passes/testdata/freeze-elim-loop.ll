@@ -1,0 +1,28 @@
+; freeze in a loop header: the induction variable is loop-carried but
+; never poison (clean seed, attribute-free step), so the fixpoint proves
+; its freeze redundant. The nsw-stepped twin may overflow to poison on
+; the backedge, so its freeze survives.
+; RUN: passes=freeze-elim sem=freeze
+
+define i8 @loop(i8 %n) {
+entry:
+  %fn = freeze i8 %n
+  br label %head
+head:
+  %i = phi i8 [ 0, %entry ], [ %i1, %body ]
+  %j = phi i8 [ 0, %entry ], [ %j1, %body ]
+  %fi = freeze i8 %i
+  %fj = freeze i8 %j
+  %c = icmp ult i8 %fi, %fn
+  br i1 %c, label %body, label %exit
+body:
+  %i1 = add i8 %i, 1
+  %j1 = add nsw i8 %j, 1
+  br label %head
+exit:
+  ret i8 %fj
+}
+; CHECK: %fn = freeze i8 %n
+; CHECK: %fj = freeze i8 %j
+; CHECK: %c = icmp ult i8 %i, %fn
+; CHECK-NOT: %fi

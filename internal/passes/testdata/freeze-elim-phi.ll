@@ -1,0 +1,23 @@
+; phi of frozen values: every incoming is itself non-poison, so the
+; phi merge is NeverPoison and the downstream freeze is deleted — the
+; flow-sensitive fact the local operand walk cannot see.
+; RUN: passes=freeze-elim sem=freeze
+
+define i8 @phimerge(i1 %c, i8 %a, i8 %b) {
+entry:
+  %fc = freeze i1 %c
+  br i1 %fc, label %t, label %e
+t:
+  %fa = freeze i8 %a
+  br label %m
+e:
+  %fb = freeze i8 %b
+  br label %m
+m:
+  %x = phi i8 [ %fa, %t ], [ %fb, %e ]
+  %fx = freeze i8 %x
+  ret i8 %fx
+}
+; CHECK: %x = phi i8 [ %fa, %t ], [ %fb, %e ]
+; CHECK-NEXT: ret i8 %x
+; CHECK-NOT: %fx
