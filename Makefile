@@ -71,3 +71,23 @@ ci: vet test
 	$(GO) run ./cmd/tame-metrics -check 'analysis_poison_queries_total>0,passes_freeze_elim_removed_total>0,verify_each_checks_total>0,verify_each_failures_total=0' metrics-verify-each.txt
 	$(GO) run ./cmd/tame-fuzz -poison-oracle -instrs 1 -n 0 -sem freeze -workers 2 -metrics - \
 	  | $(GO) run ./cmd/tame-metrics -check 'poison_oracle_funcs_total>0,poison_oracle_claims_total>0,poison_oracle_execs_total>0,poison_oracle_violations_total=0'
+	$(MAKE) ci-cache
+
+# The persistent-cache gate: the same quick freeze campaign runs twice
+# against one -cache-dir. The cold run seeds the snapshots; the warm
+# run must actually serve memo lookups from them (cache_disk_hits_total
+# strictly positive, zero stale rejects) and — the soundness half —
+# produce byte-identical findings, which cmp enforces on the captured
+# stdout. The warm run's memo must then be effectively total: the ratio
+# assertion demands at least half of all lookups hit (in practice the
+# disk snapshot makes it 100%; 0.5 leaves headroom for generator
+# growth). The ci-cache/ dir is kept — snapshots and both metric
+# snapshots — for the workflow's cache-snapshots artifact.
+.PHONY: ci-cache
+ci-cache:
+	rm -rf ci-cache && mkdir -p ci-cache
+	$(GO) run ./cmd/tame-fuzz -validate -n 300 -workers 2 -sem freeze -cache-dir ci-cache -metrics ci-cache/cold-metrics.json > ci-cache/cold-findings.txt
+	$(GO) run ./cmd/tame-fuzz -validate -n 300 -workers 2 -sem freeze -cache-dir ci-cache -metrics ci-cache/warm-metrics.json > ci-cache/warm-findings.txt
+	cmp ci-cache/cold-findings.txt ci-cache/warm-findings.txt
+	$(GO) run ./cmd/tame-metrics -check 'cache_disk_loads_total=0,cache_disk_hits_total=0,cache_disk_stale_rejects_total=0' ci-cache/cold-metrics.json
+	$(GO) run ./cmd/tame-metrics -check 'cache_disk_loads_total>0,cache_disk_hits_total>0,cache_disk_stale_rejects_total=0,memo_hits_total/memo_lookups_total>=0.5' ci-cache/warm-metrics.json

@@ -40,7 +40,16 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink the exec experiment for CI smoke runs")
 	jsonPath := flag.String("json", "", "also write the experiment's rows as JSON to this file (E11, or E12 with -exp exec)")
 	metricsPath := flag.String("metrics", "", "write process engine/cache metrics after the experiments ('-' = text on stdout, *.json = JSON)")
+	cacheDir := flag.String("cache-dir", "", "persistent cache directory for the E11 warm-start ablation (default: a fresh temp dir, removed afterwards)")
 	flag.Parse()
+
+	// One process registry collects every experiment's telemetry when
+	// -metrics is set; the harnesses label their rows so the snapshot
+	// stays per-row legible. A nil registry is a no-op sink.
+	var reg *telemetry.Registry
+	if *metricsPath != "" {
+		reg = telemetry.NewRegistry()
+	}
 
 	wantMeasure := false
 	wantValidate := false
@@ -67,10 +76,10 @@ func main() {
 
 	if wantValidate {
 		fmt.Println("# Section 6 experiment: exhaustive generation + translation validation")
-		fixed := bench.Validate(true, *valInstrs, *valMax)
+		fixed := bench.Validate(true, *valInstrs, *valMax, reg)
 		bench.ReportValidation(os.Stdout, "fixed passes, freeze semantics", fixed)
 		fmt.Println()
-		legacy := bench.Validate(false, *valInstrs, *valMax)
+		legacy := bench.Validate(false, *valInstrs, *valMax, reg)
 		bench.ReportValidation(os.Stdout, "historical passes, legacy semantics", legacy)
 		fmt.Println()
 	}
@@ -97,20 +106,40 @@ func main() {
 		// The -O2 rows come in an uncached/cached analysis pair: the
 		// uncached twin reproduces the historical recompute-per-pass
 		// optimizer, so the gap is what the analysis manager saves.
-		rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, 1, false, false, false))
-		rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, 1, false, false, true))
-		rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, 1, true, false, true))
-		rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, 1, false, true, true))
+		rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, 1, false, false, false, reg))
+		rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, 1, false, false, true, reg))
+		rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, 1, true, false, true, reg))
+		rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, 1, false, true, true, reg))
 		for _, w := range splitInts(*pipeWorkers) {
-			rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, w, true, true, true))
+			rows = append(rows, bench.MeasurePipeline(true, *valInstrs, *valMax, w, true, true, true, reg))
 		}
 		bench.ReportPipeline(os.Stdout, "fixed passes, -O2, freeze semantics", rows)
 		fmt.Println()
 		// Ablation pair: the same freeze-dialect campaign with and
 		// without the poison-analysis-backed freeze-elim pass.
-		fe := bench.MeasureFreezeElim(*valInstrs, *valMax, 1)
+		fe := bench.MeasureFreezeElim(*valInstrs, *valMax, 1, reg)
 		bench.ReportFreezeElim(os.Stdout, fe)
 		rows = append(rows, fe...)
+		fmt.Println()
+		// Cold-vs-warm persistent-cache pair: same campaign, one cache
+		// directory, run twice. -cache-dir points it at a durable dir
+		// (warm rows then benefit from previous invocations); the
+		// default is a throwaway temp dir so the cold row is honest.
+		dir := *cacheDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "tame-bench-cache-")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		ws, err := bench.MeasureWarmStart(*valInstrs, *valMax, 1, dir, reg)
+		if err != nil {
+			fatal(fmt.Errorf("warm-start ablation: %w", err))
+		}
+		bench.ReportWarmStart(os.Stdout, ws)
+		rows = append(rows, ws...)
 		if *jsonPath != "" {
 			out, err := json.MarshalIndent(rows, "", "  ")
 			if err != nil {
@@ -169,10 +198,10 @@ func main() {
 	}
 
 	if *metricsPath != "" {
-		// The shared program cache is the process-wide collector every
-		// experiment feeds; its traffic is scheduling-class because the
-		// parallel experiments interleave their compiles.
-		reg := telemetry.NewRegistry()
+		// The experiments labeled their campaign telemetry into reg as
+		// they ran; fold in the process-wide collectors (shared program
+		// cache, lowering cache) last — their traffic is scheduling-class
+		// because the parallel experiments interleave their compiles.
 		bench.PublishProcessMetrics(reg)
 		if err := reg.Snapshot().WriteFile(*metricsPath); err != nil {
 			fatal(err)

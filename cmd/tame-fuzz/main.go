@@ -36,6 +36,11 @@
 //	                    instead of being buffered until the end
 //	-debug-addr ADDR    serve /metrics, /metrics.json, /metrics/history
 //	                    and /debug/pprof on ADDR while the run lasts
+//	-cache-dir DIR      warm-start from DIR's persistent snapshots
+//	                    (behaviour-set memo + lowering metadata) and
+//	                    refresh them after the run; stale snapshots are
+//	                    rejected wholesale, so findings are always
+//	                    byte-identical to a cold run
 package main
 
 import (
@@ -75,6 +80,7 @@ func main() {
 	debugSnapEvery := flag.Duration("debug-snapshot-interval", 0, "debug-server history snapshot interval (0 = 5s default)")
 	debugSnapRing := flag.Int("debug-snapshot-ring", 0, "debug-server history ring depth (0 = default)")
 	tier := flag.String("tier", "", "execution tier for -validate: off (interpreter), closure, auto or bytecode (default auto)")
+	cacheDir := flag.String("cache-dir", "", "persistent cache directory for -validate warm starts (loaded before, refreshed after the run)")
 	flag.Parse()
 
 	if *poisonOracle {
@@ -92,7 +98,7 @@ func main() {
 			workers:    *workers, noMemo: *noMemo, optStats: *optStats,
 			metricsPath: *metricsPath, progress: *progress, debugAddr: *debugAddr,
 			debugSnapEvery: *debugSnapEvery, debugSnapRing: *debugSnapRing,
-			tier: *tier,
+			tier: *tier, cacheDir: *cacheDir,
 		})
 		return
 	}
@@ -134,6 +140,7 @@ type campaignFlags struct {
 	debugSnapEvery   time.Duration
 	debugSnapRing    int
 	tier             string
+	cacheDir         string
 }
 
 func runCampaign(fl campaignFlags) {
@@ -198,6 +205,7 @@ func runCampaign(fl campaignFlags) {
 		PipelineCfg: pcfg,
 		Workers:     fl.workers,
 		MemoEntries: memoEntries,
+		CacheDir:    fl.cacheDir,
 	}
 
 	var reg *telemetry.Registry
@@ -254,6 +262,14 @@ func runCampaign(fl campaignFlags) {
 		st.Funcs, elapsed.Round(time.Millisecond), perSec, fl.workers,
 		st.Verified, st.Refuted, st.Inconclusive,
 		st.MemoHits, st.MemoLookups, 100*st.HitRate())
+	if fl.cacheDir != "" {
+		fmt.Fprintf(os.Stderr,
+			"tame-fuzz: cache-dir %s: %d snapshots loaded, %d disk hits, %d stale-rejected\n",
+			fl.cacheDir, st.DiskLoads, st.DiskHits, st.DiskStaleRejects)
+		if st.DiskErr != nil {
+			fmt.Fprintf(os.Stderr, "tame-fuzz: warning: cache-dir: %v\n", st.DiskErr)
+		}
+	}
 	if fl.optStats && !fl.noMemo {
 		// The memo is shared across all worker shards, so the hit rate
 		// above includes cross-shard hits: one worker's derivation

@@ -18,6 +18,17 @@
 // requires the series to be present AND every matching sample to be
 // zero — how CI asserts a failure counter was exported and stayed
 // clean, distinguishing "no failures" from "counter never registered".
+//
+// Cross-metric ratio assertions divide two series:
+//
+//	tame-metrics -check 'memo_hits_total/memo_lookups_total>=0.5' snapshot.json
+//
+// The form is numerator/denominator followed by >= or <= and a float
+// threshold. Each side sums the exact series plus its labelled
+// children, so per-shard or per-experiment splits count toward the
+// whole. The assertion fails when either series is missing or the
+// denominator is zero — a vanished workload must not pass vacuously.
+//
 // Without -check, the parsed series names and values are listed — a
 // quick way to see what a snapshot holds.
 package main
@@ -29,6 +40,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"tameir/internal/telemetry"
@@ -91,6 +103,12 @@ func main() {
 		if want == "" {
 			continue
 		}
+		if ok, handled := checkRatio(values, want); handled {
+			if !ok {
+				missing = append(missing, want)
+			}
+			continue
+		}
 		name, nonzero := strings.CutSuffix(want, ">0")
 		name, zero := strings.CutSuffix(name, "=0")
 		if !satisfied(values, name, nonzero, zero) {
@@ -130,6 +148,57 @@ func satisfied(values map[string]int64, name string, nonzero, zero bool) bool {
 		return !positive
 	}
 	return true
+}
+
+// checkRatio evaluates a cross-metric ratio assertion
+// ("num/den>=0.5", "num/den<=2"). handled reports whether the
+// expression is one; ok whether it holds. Both series must exist and
+// the denominator must be positive — missing data fails the check
+// rather than passing it vacuously.
+func checkRatio(values map[string]int64, expr string) (ok, handled bool) {
+	op := ">="
+	i := strings.Index(expr, ">=")
+	if i < 0 {
+		i = strings.Index(expr, "<=")
+		op = "<="
+	}
+	if i < 0 {
+		return false, false
+	}
+	lhs, rhs := expr[:i], expr[i+2:]
+	num, den, isRatio := strings.Cut(lhs, "/")
+	if !isRatio {
+		return false, false
+	}
+	threshold, err := strconv.ParseFloat(strings.TrimSpace(rhs), 64)
+	if err != nil {
+		return false, false
+	}
+	nv, nok := sumSeries(values, strings.TrimSpace(num))
+	dv, dok := sumSeries(values, strings.TrimSpace(den))
+	if !nok || !dok || dv == 0 {
+		return false, true
+	}
+	ratio := float64(nv) / float64(dv)
+	if op == ">=" {
+		return ratio >= threshold, true
+	}
+	return ratio <= threshold, true
+}
+
+// sumSeries sums a series and its labelled children (exact name or
+// name{...} — histogram suffix children are deliberately excluded so a
+// ratio never mixes _count/_sum samples into a counter).
+func sumSeries(values map[string]int64, name string) (int64, bool) {
+	var sum int64
+	found := false
+	for k, v := range values {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			found = true
+			sum += v
+		}
+	}
+	return sum, found
 }
 
 func fatal(err error) {

@@ -34,6 +34,7 @@ func main() {
 	interp := flag.Bool("interp", false, "force the tree-walking interpreter instead of the compiled engine")
 	tier := flag.String("tier", "", "execution tier: off (interpreter), closure, auto or bytecode (default auto; -interp implies off)")
 	metricsPath := flag.String("metrics", "", "write the checker metric snapshot to this file ('-' = text on stdout, *.json = JSON)")
+	cacheDir := flag.String("cache-dir", "", "persistent cache directory: warm-start the behaviour-set memo from it and refresh it after the run")
 	flag.Parse()
 
 	var opts core.Options
@@ -54,6 +55,21 @@ func main() {
 		}
 		rcfg.Tier = policy
 		rcfg.Interpret = rcfg.Interpret || off
+	}
+
+	// -cache-dir: share one memo across all pairs, warm-started from
+	// the directory's snapshots (stale ones rejected wholesale — a warm
+	// run reports exactly what a cold one would) and written back after
+	// the reports print. Check creates a private session per call.
+	rcfg.CacheDir = *cacheDir
+	var disk *refine.DiskCache
+	if *cacheDir != "" {
+		memo := refine.NewMemo(0)
+		rcfg.Memo = memo
+		disk = refine.OpenDiskCache(*cacheDir, memo)
+		if _, err := disk.Load(); err != nil {
+			fmt.Fprintf(os.Stderr, "tame-tv: warning: cache-dir: %v\n", err)
+		}
 	}
 
 	// check runs one src→tgt validation with worker-private checker
@@ -132,11 +148,27 @@ func main() {
 		}
 		met.Add(&r.met)
 	}
+	if disk != nil {
+		if err := disk.Save(); err != nil {
+			fmt.Fprintf(os.Stderr, "tame-tv: warning: cache-dir: %v\n", err)
+		}
+		ds := disk.Stats()
+		fmt.Fprintf(os.Stderr, "tame-tv: cache-dir %s: %d snapshots loaded, %d disk hits, %d stale-rejected\n",
+			*cacheDir, ds.Loads, ds.Hits, ds.StaleRejects)
+	}
 	if *metricsPath != "" {
-		// No memo is in play, so every checker counter is a pure
-		// function of the input pair list.
+		// Without -cache-dir no memo is in play and every checker
+		// counter is a pure function of the input pair list; with one,
+		// the memo split depends on worker interleaving.
 		reg := telemetry.NewRegistry()
-		met.Publish(reg, telemetry.Deterministic)
+		class := telemetry.Deterministic
+		if disk != nil {
+			class = telemetry.Scheduling
+		}
+		met.Publish(reg, class)
+		if disk != nil {
+			disk.Stats().Publish(reg, telemetry.Scheduling)
+		}
 		if err := reg.Snapshot().WriteFile(*metricsPath); err != nil {
 			fatal(err)
 		}

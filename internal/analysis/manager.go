@@ -100,6 +100,11 @@ type Manager struct {
 	li     *LoopInfo
 	poison *PoisonFacts
 	stats  Stats
+
+	// runPreserved accumulates the analyses the currently running pass
+	// proved still valid beyond its static registration — see
+	// PreserveDuringRun.
+	runPreserved Set
 }
 
 // NewManager returns an empty manager for f.
@@ -187,6 +192,27 @@ func (m *Manager) Invalidate(preserved Set) {
 // mid-run (loop unswitching between fixpoint rounds) call this so
 // their own later queries recompute.
 func (m *Manager) InvalidateAll() { m.Invalidate(None) }
+
+// PreserveDuringRun records that the currently running pass has kept
+// the analyses in s exact despite reporting a change — a dynamic
+// upgrade of its static registry declaration, for facts (like Poison)
+// whose validity depends on what the pass actually did rather than on
+// what it is allowed to do. The claim is consumed by TakeRunPreserved
+// at the end of the pass step and ORed into the static preserved-set;
+// under -verify-each it is then checked against a fresh recomputation
+// like any other declaration. Claims accumulate within one run and
+// never outlive it.
+func (m *Manager) PreserveDuringRun(s Set) { m.runPreserved |= s }
+
+// TakeRunPreserved returns and clears the analyses the pass that just
+// ran claimed to preserve dynamically. The pass manager must call it
+// exactly once per pass step, whether or not the pass reported a
+// change, so a claim can never leak into the next pass's invalidation.
+func (m *Manager) TakeRunPreserved() Set {
+	s := m.runPreserved
+	m.runPreserved = None
+	return s
+}
 
 // Cached reports whether every analysis in s is currently cached.
 func (m *Manager) Cached(s Set) bool {

@@ -255,7 +255,7 @@ entry:
 	if m.Cached(Poison) {
 		t.Error("Invalidate(All) kept poison facts alive")
 	}
-	if !m.Cached(CFG | Doms) && m.Cached(CFG) {
+	if !m.Cached(CFG|Doms) && m.Cached(CFG) {
 		t.Error("Invalidate(All) evicted CFG-level analyses")
 	}
 }

@@ -96,7 +96,7 @@ func TestValidationExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("validation is slow")
 	}
-	fixed := Validate(true, 1, 400)
+	fixed := Validate(true, 1, 400, nil)
 	for _, r := range fixed {
 		if r.Refuted != 0 {
 			t.Errorf("fixed %s: %d refuted (e.g. %s)", r.Pass, r.Refuted, r.FirstCE)
@@ -105,7 +105,7 @@ func TestValidationExperiment(t *testing.T) {
 			t.Errorf("fixed %s: no functions validated", r.Pass)
 		}
 	}
-	legacy := Validate(false, 1, 400)
+	legacy := Validate(false, 1, 400, nil)
 	anyRefuted := 0
 	for _, r := range legacy {
 		anyRefuted += r.Refuted

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"tameir/internal/core"
@@ -10,6 +11,7 @@ import (
 	"tameir/internal/optfuzz"
 	"tameir/internal/passes"
 	"tameir/internal/refine"
+	"tameir/internal/telemetry"
 )
 
 // PipelineResult is one row of the E11 throughput experiment: a §6
@@ -47,6 +49,16 @@ type PipelineResult struct {
 	// poison-analysis-backed freeze-elim pass deleted (zero for
 	// pipelines that do not include it).
 	FreezeElimRemoved uint64
+
+	// DiskLoads / DiskHits / DiskStaleRejects describe the persistent
+	// cache directory's contribution for the warm-start ablation rows
+	// (zero for rows run without a cache directory). DiskHits counts
+	// memo lookups served by snapshot-loaded entries, so the
+	// cold-vs-warm pair shows how much of the campaign's derivation
+	// work the snapshot replaced.
+	DiskLoads        uint64
+	DiskHits         uint64
+	DiskStaleRejects uint64
 }
 
 // pipelineCampaign builds the §6 validation campaign: -O2 alone, or
@@ -94,24 +106,49 @@ func pipelineCampaign(fixed bool, numInstrs, maxFuncs, workers int, memo, multiP
 	return c
 }
 
+// runRow runs one campaign row, folding its telemetry into reg (when
+// non-nil) with the row's labels stamped on every series the campaign
+// does not already label more finely. One sub-registry per row keeps
+// rows distinguishable in the process snapshot while unlabeled
+// process-wide series still sum across rows.
+func runRow(c *optfuzz.Campaign, reg *telemetry.Registry, labels ...string) optfuzz.Stats {
+	var sub *telemetry.Registry
+	if reg != nil {
+		sub = telemetry.NewRegistry()
+		c.Telemetry = sub
+	}
+	st := c.Run()
+	reg.MergeLabeled(sub, labels...)
+	return st
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
 // MeasurePipeline times one campaign configuration and reports
-// validation throughput and memo effectiveness.
-func MeasurePipeline(fixed bool, numInstrs, maxFuncs, workers int, memo, multiPass, analysisCache bool) PipelineResult {
+// validation throughput and memo effectiveness. reg, when non-nil,
+// receives the campaign's telemetry labeled with the row coordinates.
+func MeasurePipeline(fixed bool, numInstrs, maxFuncs, workers int, memo, multiPass, analysisCache bool, reg *telemetry.Registry) PipelineResult {
 	c := pipelineCampaign(fixed, numInstrs, maxFuncs, workers, memo, multiPass, analysisCache)
 	npasses := 1
 	if multiPass {
 		npasses = len(c.Transforms)
 	}
+	rowLabel := "o2"
+	if multiPass {
+		rowLabel = "validation-passes"
+	}
 	start := time.Now()
-	st := c.Run()
+	st := runRow(&c, reg, "experiment", "pipeline", "pipeline", rowLabel,
+		"workers", strconv.Itoa(workers), "memo", onOff(memo), "acache", onOff(multiPass || analysisCache))
 	elapsed := time.Since(start)
 	checks := st.Verified + st.Refuted + st.Inconclusive
-	label := "o2"
-	if multiPass {
-		label = "validation-passes"
-	}
 	r := PipelineResult{
-		Pipeline:      label,
+		Pipeline:      rowLabel,
 		Workers:       workers,
 		Memo:          memo,
 		Passes:        npasses,
@@ -146,7 +183,7 @@ func MeasurePipeline(fixed bool, numInstrs, maxFuncs, workers int, memo, multiPa
 // through the local operand walk — the flow-sensitive pass earns its
 // keep on phis, loops, and dominated guards, covered by the FileCheck
 // corpus rather than this generator.)
-func MeasureFreezeElim(numInstrs, maxFuncs, workers int) []PipelineResult {
+func MeasureFreezeElim(numInstrs, maxFuncs, workers int, reg *telemetry.Registry) []PipelineResult {
 	fe, err := passes.NewPassManager("freeze-elim")
 	if err != nil {
 		panic(err) // registry invariant: the pass is always registered
@@ -177,7 +214,7 @@ func MeasureFreezeElim(numInstrs, maxFuncs, workers int) []PipelineResult {
 			Workers:     workers,
 		}
 		start := time.Now()
-		st := c.Run()
+		st := runRow(&c, reg, "experiment", "freeze-elim-ablation", "pipeline", cc.label)
 		elapsed := time.Since(start)
 		checks := st.Verified + st.Refuted + st.Inconclusive
 		r := PipelineResult{
@@ -204,6 +241,74 @@ func MeasureFreezeElim(numInstrs, maxFuncs, workers int) []PipelineResult {
 		rows = append(rows, r)
 	}
 	return rows
+}
+
+// MeasureWarmStart is the persistent-cache ablation: the same -O2
+// freeze-dialect campaign run twice against one cache directory. The
+// first (cold) run starts from an empty dir and writes its memo and
+// lowering snapshots on exit; the second (warm) run loads them, so
+// every source-side behaviour derivation the cold run performed is
+// served from disk. The two rows come back as "o2-cold-cache" /
+// "o2-warm-cache" with the disk counters filled in; by the snapshot
+// soundness contract (stale files rejected wholesale, hits keyed on
+// the full canonical text) the warm row's verdict counts are
+// byte-identical to the cold row's — the ablation measures time, not
+// findings. The returned error is the first persistence failure, if
+// any; the rows are still valid as uncached measurements.
+func MeasureWarmStart(numInstrs, maxFuncs, workers int, dir string, reg *telemetry.Registry) ([]PipelineResult, error) {
+	var rows []PipelineResult
+	var firstErr error
+	for _, phase := range []string{"cold", "warm"} {
+		c := pipelineCampaign(true, numInstrs, maxFuncs, workers, true, false, true)
+		c.CacheDir = dir
+		start := time.Now()
+		st := runRow(&c, reg, "experiment", "warm-start", "phase", phase,
+			"workers", strconv.Itoa(workers))
+		elapsed := time.Since(start)
+		if st.DiskErr != nil && firstErr == nil {
+			firstErr = st.DiskErr
+		}
+		checks := st.Verified + st.Refuted + st.Inconclusive
+		r := PipelineResult{
+			Pipeline:         "o2-" + phase + "-cache",
+			Workers:          workers,
+			Memo:             true,
+			Passes:           1,
+			Funcs:            st.Funcs,
+			Checks:           checks,
+			Refuted:          st.Refuted,
+			Elapsed:          elapsed,
+			ChecksPerSec:     float64(checks) / elapsed.Seconds(),
+			MemoHits:         st.MemoHits,
+			MemoLookups:      st.MemoLookups,
+			HitRate:          st.HitRate(),
+			AnalysisCache:    true,
+			DiskLoads:        st.DiskLoads,
+			DiskHits:         st.DiskHits,
+			DiskStaleRejects: st.DiskStaleRejects,
+		}
+		if st.Opt != nil {
+			a := st.Opt.Analysis()
+			r.AnalysisComputes = a.Computes
+			r.AnalysisHits = a.Hits
+			r.FreezeElimRemoved = st.Opt.FreezeElimRemoved()
+		}
+		rows = append(rows, r)
+	}
+	return rows, firstErr
+}
+
+// ReportWarmStart renders the cold/warm persistent-cache pair.
+func ReportWarmStart(w io.Writer, rows []PipelineResult) {
+	fmt.Fprintf(w, "== warm start: persistent cache directory (-O2, freeze dialect) ==\n")
+	fmt.Fprintf(w, "%-16s %8s %8s %10s %11s %10s %10s %6s\n",
+		"pipeline", "funcs", "checks", "elapsed", "checks/sec", "disk-loads", "disk-hits", "stale")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %8d %8d %10s %11.0f %10d %10d %6d\n",
+			r.Pipeline, r.Funcs, r.Checks,
+			r.Elapsed.Round(time.Millisecond), r.ChecksPerSec,
+			r.DiskLoads, r.DiskHits, r.DiskStaleRejects)
+	}
 }
 
 // ReportFreezeElim renders the ablation pair.

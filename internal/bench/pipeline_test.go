@@ -14,14 +14,14 @@ import (
 // The parallel pipeline must agree with the serial §6 campaign: same
 // function count, same refuted count, independent of worker count.
 func TestPipelineMatchesSerial(t *testing.T) {
-	serial := MeasurePipeline(true, 1, 0, 1, true, false, true)
+	serial := MeasurePipeline(true, 1, 0, 1, true, false, true, nil)
 	if serial.Funcs == 0 {
 		t.Fatal("pipeline validated no functions")
 	}
 	if serial.Refuted != 0 {
 		t.Errorf("fixed passes refuted %d functions", serial.Refuted)
 	}
-	parallel := MeasurePipeline(true, 1, 0, 4, true, false, true)
+	parallel := MeasurePipeline(true, 1, 0, 4, true, false, true, nil)
 	if parallel.Funcs != serial.Funcs || parallel.Refuted != serial.Refuted {
 		t.Errorf("workers=4 (%d funcs, %d refuted) diverges from serial (%d funcs, %d refuted)",
 			parallel.Funcs, parallel.Refuted, serial.Funcs, serial.Refuted)
@@ -45,8 +45,8 @@ func TestValidateParallelMatchesSerial(t *testing.T) {
 		t.Skip("validation is slow")
 	}
 	for _, fixed := range []bool{true, false} {
-		serial := Validate(fixed, 1, 0)
-		rows, st := ValidateParallel(fixed, 1, 0, 4)
+		serial := Validate(fixed, 1, 0, nil)
+		rows, st := ValidateParallel(fixed, 1, 0, 4, nil)
 		if !reflect.DeepEqual(serial, rows) {
 			t.Errorf("fixed=%v: parallel rows diverge\nserial:   %+v\nparallel: %+v",
 				fixed, serial, rows)
@@ -130,7 +130,7 @@ func BenchmarkCampaign(b *testing.B) {
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r := MeasurePipeline(true, 1, 0, tc.workers, tc.memo, tc.multiPass, true)
+				r := MeasurePipeline(true, 1, 0, tc.workers, tc.memo, tc.multiPass, true, nil)
 				b.ReportMetric(r.ChecksPerSec, "checks/sec")
 			}
 		})

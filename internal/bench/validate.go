@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"tameir/internal/core"
@@ -10,6 +11,7 @@ import (
 	"tameir/internal/optfuzz"
 	"tameir/internal/passes"
 	"tameir/internal/refine"
+	"tameir/internal/telemetry"
 )
 
 // ValidationRow is one line of the Section 6 experiment: a pass (or
@@ -58,7 +60,13 @@ func validationPasses() []struct {
 // !fixed selects the historical passes under the legacy semantics
 // (with nondeterministic branch-on-poison), where the validator finds
 // real miscompilations.
-func Validate(fixed bool, numInstrs, maxFuncs int) []ValidationRow {
+//
+// reg, when non-nil, receives each pass sweep's checker counters
+// labeled {experiment="validate",dialect=…,pass=…} — the serial sweep
+// runs no campaign, so the harness publishes the per-pass
+// CheckMetrics itself (deterministic class: one worker, no shared
+// memo).
+func Validate(fixed bool, numInstrs, maxFuncs int, reg *telemetry.Registry) []ValidationRow {
 	var sem core.Options
 	var pcfg *passes.Config
 	gen := optfuzz.DefaultConfig(numInstrs)
@@ -66,6 +74,7 @@ func Validate(fixed bool, numInstrs, maxFuncs int) []ValidationRow {
 	// reassociation bug (§10.2) only shows on attribute-carrying
 	// chains.
 	gen.EnumAttrs = true
+	dialect := "freeze"
 	if fixed {
 		sem = core.FreezeOptions()
 		pcfg = passes.DefaultFreezeConfig()
@@ -75,6 +84,7 @@ func Validate(fixed bool, numInstrs, maxFuncs int) []ValidationRow {
 		sem = core.LegacyOptions(core.BranchPoisonNondet)
 		pcfg = passes.DefaultLegacyConfig()
 		gen.AllowUndef = true
+		dialect = "legacy"
 	}
 	gen.MaxFuncs = maxFuncs
 	rcfg := refine.DefaultConfig(sem, sem)
@@ -82,10 +92,15 @@ func Validate(fixed bool, numInstrs, maxFuncs int) []ValidationRow {
 	var rows []ValidationRow
 	for _, vp := range validationPasses() {
 		row := ValidationRow{Pass: vp.name}
+		var met refine.CheckMetrics
+		cfg := rcfg
+		if reg != nil {
+			cfg.Metrics = &met
+		}
 		optfuzz.Exhaustive(gen, func(f *ir.Func) bool {
 			work := ir.CloneFunc(f)
 			vp.run(work, pcfg)
-			r := refine.Check(f, work, rcfg)
+			r := refine.Check(f, work, cfg)
 			row.Funcs++
 			switch r.Status {
 			case refine.Verified:
@@ -100,6 +115,11 @@ func Validate(fixed bool, numInstrs, maxFuncs int) []ValidationRow {
 			}
 			return true
 		})
+		if reg != nil {
+			sub := telemetry.NewRegistry()
+			met.Publish(sub, telemetry.Deterministic)
+			reg.MergeLabeled(sub, "experiment", "validate", "dialect", dialect, "pass", vp.name)
+		}
 		rows = append(rows, row)
 	}
 	return rows
@@ -113,11 +133,12 @@ func Validate(fixed bool, numInstrs, maxFuncs int) []ValidationRow {
 // so counts may differ from Validate's prefix. Sharing one memo across
 // the five passes is what the memoization is for: each candidate's
 // source behaviour sets are derived once and hit four more times.
-func ValidateParallel(fixed bool, numInstrs, maxFuncs, workers int) ([]ValidationRow, optfuzz.Stats) {
+func ValidateParallel(fixed bool, numInstrs, maxFuncs, workers int, reg *telemetry.Registry) ([]ValidationRow, optfuzz.Stats) {
 	var sem core.Options
 	var pcfg *passes.Config
 	gen := optfuzz.DefaultConfig(numInstrs)
 	gen.EnumAttrs = true
+	dialect := "freeze"
 	if fixed {
 		sem = core.FreezeOptions()
 		pcfg = passes.DefaultFreezeConfig()
@@ -127,6 +148,7 @@ func ValidateParallel(fixed bool, numInstrs, maxFuncs, workers int) ([]Validatio
 		sem = core.LegacyOptions(core.BranchPoisonNondet)
 		pcfg = passes.DefaultLegacyConfig()
 		gen.AllowUndef = true
+		dialect = "legacy"
 	}
 	gen.MaxFuncs = maxFuncs
 
@@ -139,12 +161,14 @@ func ValidateParallel(fixed bool, numInstrs, maxFuncs, workers int) ([]Validatio
 		})
 	}
 
-	st := optfuzz.Campaign{
+	c := optfuzz.Campaign{
 		Gen:        gen,
 		Refine:     refine.DefaultConfig(sem, sem),
 		Transforms: transforms,
 		Workers:    workers,
-	}.Run()
+	}
+	st := runRow(&c, reg, "experiment", "validate-parallel", "dialect", dialect,
+		"workers", strconv.Itoa(workers))
 
 	rows := make([]ValidationRow, len(st.Passes))
 	for i, p := range st.Passes {

@@ -1,0 +1,148 @@
+package cache
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tameir/internal/telemetry"
+)
+
+type testPayload struct {
+	A int
+	B []string
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.snap")
+	in := testPayload{A: 7, B: []string{"p", "q"}}
+	if err := WriteFile(path, "memo", "fp-1", &in); err != nil {
+		t.Fatal(err)
+	}
+	var out testPayload
+	if err := ReadFile(path, "memo", "fp-1", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip lost data: wrote %+v, read %+v", in, out)
+	}
+}
+
+// Every header mismatch — fingerprint, kind, version, magic — and any
+// payload corruption must reject the whole file as stale; a missing
+// file is not stale, it is simply absent.
+func TestSnapshotFileStaleRejection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.snap")
+	if err := WriteFile(path, "memo", "fp-1", &testPayload{A: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var out testPayload
+	if err := ReadFile(path, "memo", "other-fp", &out); !errors.Is(err, ErrStale) {
+		t.Fatalf("fingerprint mismatch: err = %v, want ErrStale", err)
+	}
+	if err := ReadFile(path, "lowerings", "fp-1", &out); !errors.Is(err, ErrStale) {
+		t.Fatalf("kind mismatch: err = %v, want ErrStale", err)
+	}
+
+	// A future format version must be rejected, not misparsed.
+	vpath := filepath.Join(dir, "v.snap")
+	f, err := os.Create(vpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	if err := gob.NewEncoder(w).Encode(snapshotHeader{
+		Magic: snapshotMagic, Version: FormatVersion + 1, Kind: "memo", Fingerprint: "fp-1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := ReadFile(vpath, "memo", "fp-1", &out); !errors.Is(err, ErrStale) {
+		t.Fatalf("version mismatch: err = %v, want ErrStale", err)
+	}
+
+	// Garbage bytes: stale, never a decode panic or success.
+	gpath := filepath.Join(dir, "g.snap")
+	if err := os.WriteFile(gpath, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadFile(gpath, "memo", "fp-1", &out); !errors.Is(err, ErrStale) {
+		t.Fatalf("corrupt file: err = %v, want ErrStale", err)
+	}
+
+	// Truncated payload after a valid header: stale too.
+	tpath := filepath.Join(dir, "t.snap")
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tpath, full[:len(full)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadFile(tpath, "memo", "fp-1", &out); !errors.Is(err, ErrStale) {
+		t.Fatalf("truncated payload: err = %v, want ErrStale", err)
+	}
+
+	if err := ReadFile(filepath.Join(dir, "missing.snap"), "memo", "fp-1", &out); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestDirLoadSaveAndCounters(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDir(filepath.Join(dir, "cache"), "fp-1")
+
+	var out testPayload
+	ok, err := d.Load("memo", &out)
+	if ok || err != nil {
+		t.Fatalf("load from empty dir: ok=%v err=%v", ok, err)
+	}
+	if d.Loads() != 0 || d.StaleRejects() != 0 {
+		t.Fatalf("missing files must count as neither loads nor rejects: %d/%d", d.Loads(), d.StaleRejects())
+	}
+
+	if err := d.Save("memo", &testPayload{A: 3, B: []string{"z"}}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = d.Load("memo", &out)
+	if !ok || err != nil || out.A != 3 {
+		t.Fatalf("reload: ok=%v err=%v out=%+v", ok, err, out)
+	}
+	if d.Loads() != 1 {
+		t.Fatalf("Loads = %d, want 1", d.Loads())
+	}
+
+	// A build with a different fingerprint sees only stale files.
+	d2 := NewDir(filepath.Join(dir, "cache"), "fp-2")
+	ok, err = d2.Load("memo", &out)
+	if ok || err != nil {
+		t.Fatalf("stale load must be (false, nil): ok=%v err=%v", ok, err)
+	}
+	if d2.Loads() != 0 || d2.StaleRejects() != 1 {
+		t.Fatalf("stale counters: loads=%d rejects=%d", d2.Loads(), d2.StaleRejects())
+	}
+}
+
+func TestDiskStatsPublish(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	DiskStats{Loads: 2, Hits: 5, StaleRejects: 1}.Publish(reg, telemetry.Scheduling)
+	for name, want := range map[string]uint64{
+		"cache_disk_loads_total":         2,
+		"cache_disk_hits_total":          5,
+		"cache_disk_stale_rejects_total": 1,
+	} {
+		if got := reg.Counter(name, telemetry.Scheduling, "").Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}

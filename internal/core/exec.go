@@ -218,7 +218,7 @@ func (env *Env) tierRunnerFor(p *Program) TierRunner {
 	case TierBytecode:
 		tp = p.tierProgram(&env.Metrics)
 	case TierAuto:
-		if p.tierExecs.Add(1) < env.Tier.threshold() {
+		if p.tierExecs.Add(1) < env.Tier.threshold() && !p.preHot {
 			return nil
 		}
 		tp = p.tierProgram(&env.Metrics)

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"sync"
+	"sync/atomic"
 
+	"tameir/internal/cache"
 	"tameir/internal/ir"
 )
 
@@ -12,7 +13,9 @@ const DefaultProgramCacheSize = 256
 
 // progKey identifies a compilation: the function identity plus the
 // normalized semantics (including the EmitTrace variant bit). Options
-// is all scalars, so the key is comparable.
+// is all scalars, so the key is comparable. The key contains a
+// pointer, so there is no cheap stable hash — the table runs single-
+// sharded, which matches the single mutex this cache always had.
 type progKey struct {
 	fn   *ir.Func
 	opts Options
@@ -24,16 +27,13 @@ type progEntry struct {
 	// verified lookup path (used by the Exec/Env.Run compatibility
 	// wrappers) re-prints the function and recompiles on mismatch.
 	text string
-	// ref is the clock reference bit: set on every hit, cleared when
-	// the sweeping hand passes. An entry is evicted only after a full
-	// unreferenced revolution — the same second-chance policy as
-	// refine.Memo, so a daemon's working set survives a cold scan.
-	ref bool
 }
 
 // ProgramCache is a bounded, concurrency-safe cache of compiled
-// programs keyed by (*ir.Func, Options), with second-chance clock
-// eviction once full.
+// programs keyed by (*ir.Func, Options), built on the generic
+// cache.Table: per-entry reference bits set on every hit, second-
+// chance clock eviction once full — the same policy as refine.Memo,
+// so a daemon's working set survives a cold scan.
 //
 // No-mutation contract: Get trusts the function pointer — it does not
 // detect mutation. Callers that transform IR must either compile the
@@ -45,16 +45,8 @@ type progEntry struct {
 // the legacy API safe for run-mutate-run test patterns at the cost of
 // one fn.String() per call.
 type ProgramCache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[progKey]*progEntry
-	slots   []progKey // clock ring over resident keys
-	hand    int
-
-	hits       uint64
-	misses     uint64
-	evictions  uint64
-	recompiles uint64
+	table      *cache.Table[progKey, *progEntry]
+	recompiles atomic.Uint64
 }
 
 // ProgramCacheStats is a point-in-time copy of a cache's counters.
@@ -77,7 +69,7 @@ func NewProgramCache(max int) *ProgramCache {
 	if max <= 0 {
 		max = DefaultProgramCacheSize
 	}
-	return &ProgramCache{max: max, entries: make(map[progKey]*progEntry)}
+	return &ProgramCache{table: cache.NewTable[progKey, *progEntry](max, 1, nil)}
 }
 
 // Get returns the compiled program for (fn, opts), compiling and
@@ -94,72 +86,46 @@ func (c *ProgramCache) getVerified(fn *ir.Func, opts Options) *Program {
 func (c *ProgramCache) get(fn *ir.Func, opts Options, verify bool) *Program {
 	opts = opts.normalized()
 	k := progKey{fn: fn, opts: opts}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[k]; ok {
-		c.hits++
-		e.ref = true
-		if !verify {
-			return e.prog
-		}
-		text := fn.String()
-		if text == e.text {
-			return e.prog
-		}
-		// The function mutated since compilation: recompile in place
-		// (the slot in the clock ring stays valid).
-		c.recompiles++
-		e.prog = Compile(fn, opts)
-		e.text = text
-		return e.prog
-	}
-	c.misses++
-	e := &progEntry{prog: Compile(fn, opts)}
+	var onHit func(**progEntry)
 	if verify {
-		e.text = fn.String()
-	}
-	if len(c.entries) >= c.max {
-		// Second-chance sweep: clear ref bits until an unreferenced
-		// victim turns up. Terminates within two revolutions.
-		for {
-			victim := c.slots[c.hand]
-			ve := c.entries[victim]
-			if ve.ref {
-				ve.ref = false
-				c.hand = (c.hand + 1) % len(c.slots)
-				continue
+		// The function may have mutated since compilation: compare the
+		// canonical text and recompile in place (the entry cell — and
+		// with it the slot in the clock ring — stays valid). Runs under
+		// the shard lock.
+		onHit = func(ep **progEntry) {
+			e := *ep
+			text := fn.String()
+			if text == e.text {
+				return
 			}
-			delete(c.entries, victim)
-			c.evictions++
-			c.slots[c.hand] = k
-			c.hand = (c.hand + 1) % len(c.slots)
-			break
+			c.recompiles.Add(1)
+			e.prog = Compile(fn, opts)
+			e.text = text
 		}
-	} else {
-		c.slots = append(c.slots, k)
 	}
-	c.entries[k] = e
+	e, _ := c.table.GetOrCompute(k, func() *progEntry {
+		e := &progEntry{prog: Compile(fn, opts)}
+		if verify {
+			e.text = fn.String()
+		}
+		return e
+	}, onHit)
 	return e.prog
 }
 
 // Len returns the number of cached programs.
-func (c *ProgramCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
+func (c *ProgramCache) Len() int { return c.table.Len() }
 
 // Stats returns a snapshot of the cache's counters.
 func (c *ProgramCache) Stats() ProgramCacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.table.Stats()
 	return ProgramCacheStats{
-		Size:       len(c.entries),
-		Capacity:   c.max,
-		Hits:       c.hits,
-		Misses:     c.misses,
-		Evictions:  c.evictions,
-		Recompiles: c.recompiles,
+		Size:       s.Size,
+		Capacity:   s.Capacity,
+		Hits:       s.Hits,
+		Misses:     s.Misses,
+		Evictions:  s.Evictions,
+		Recompiles: c.recompiles.Load(),
 	}
 }
 

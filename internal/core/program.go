@@ -49,19 +49,33 @@ type Program struct {
 	tierExecs atomic.Uint64
 	tierOnce  sync.Once
 	tierProg  TierProgram
+
+	// preHot records that a -cache-dir snapshot saw this program (by
+	// canonical text and options) promoted last run; TierAuto then
+	// promotes on the first execution instead of after the threshold.
+	preHot bool
 }
 
-// tierProgram returns the program's tier-2 lowering, lowering on first
-// use. A successful first lowering counts as one promotion on m (the
+// tierProgram returns the program's tier-2 lowering, resolving it on
+// first use — through the shared lowering cache when the function is
+// shareable (see lowercache.go), by a private backend call otherwise.
+// Acquiring the lowering counts as one promotion on m either way (the
 // requesting executor's metrics; merged upward like every engine
-// counter). Returns nil when no backend is registered or the backend
-// declines the function.
+// counter): promotion is a per-Program event even when the bytecode
+// itself came from the cache. Returns nil when no backend is
+// registered or the backend declines the function.
 func (p *Program) tierProgram(m *EngineMetrics) TierProgram {
 	p.tierOnce.Do(func() {
 		if tierBackend == nil {
 			return
 		}
-		if tp, ok := tierBackend.Lower(p.fn, p.opts); ok {
+		tp, cached := lowerCached(p.fn, p.opts)
+		if !cached {
+			if lowered, ok := tierBackend.Lower(p.fn, p.opts); ok {
+				tp = lowered
+			}
+		}
+		if tp != nil {
 			p.tierProg = tp
 			m.Promotions++
 		}
@@ -266,6 +280,7 @@ func Compile(fn *ir.Func, opts Options) *Program {
 			q.needsMem = true
 		}
 	}
+	p.preHot = warmPromoted(fn, opts)
 	return p
 }
 
@@ -1064,7 +1079,7 @@ func (e *Executor) tryPromote() {
 			e.tier.Mode = TierClosure // backend declined; stop asking
 		}
 	case TierAuto:
-		if p.tierExecs.Add(1) < e.tier.threshold() {
+		if p.tierExecs.Add(1) < e.tier.threshold() && !p.preHot {
 			return
 		}
 		if tp := p.tierProgram(&e.env.Metrics); tp != nil {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tameir/internal/cache"
 	"tameir/internal/core"
 	"tameir/internal/ir"
 	"tameir/internal/parallel"
@@ -83,6 +84,16 @@ type Campaign struct {
 	// MemoEntries bounds the campaign's shared behaviour-set memo. 0
 	// means refine.DefaultMemoEntries; negative disables memoization.
 	MemoEntries int
+
+	// CacheDir, when non-empty, warm-starts the campaign from the
+	// persistent snapshots in that directory (behaviour-set memo +
+	// bytecode lowering metadata) and writes refreshed snapshots back
+	// after the run. Snapshots are versioned and fingerprinted
+	// (core.SemanticsFingerprint); stale or mismatched ones are
+	// rejected wholesale, so a warm campaign's verdict stream is
+	// byte-identical to a cold one (TestCacheDirWarmMatchesCold).
+	// Falls back to Refine.CacheDir when empty.
+	CacheDir string
 
 	// Telemetry, when non-nil, receives the campaign's merged metric
 	// counters after the run: campaign_* verdicts, per-shard checker and
@@ -185,6 +196,19 @@ type Stats struct {
 	MemoLookups   uint64
 	MemoEvictions uint64
 	MemoSets      int
+
+	// DiskLoads / DiskHits / DiskStaleRejects are the persistent
+	// -cache-dir counters: snapshot files loaded in full, memo hits
+	// served by disk-loaded entries, snapshots rejected wholesale. All
+	// zero without CacheDir.
+	DiskLoads        uint64
+	DiskHits         uint64
+	DiskStaleRejects uint64
+	// DiskErr records a failed snapshot load or save (I/O, not
+	// staleness — staleness is a counted, non-error cold start). The
+	// campaign's verdicts are unaffected; drivers surface it as a
+	// warning.
+	DiskErr error
 
 	// Opt merges the per-shard pass-manager statistics in shard order
 	// (nil unless the campaign ran an instrumented Pipeline).
@@ -402,6 +426,18 @@ func (c Campaign) Run() Stats {
 		memo = refine.NewMemo(c.MemoEntries)
 	}
 
+	// Warm start: install last run's snapshots before any shard runs.
+	// A nil disk (no CacheDir) is a no-op throughout.
+	cacheDir := c.CacheDir
+	if cacheDir == "" {
+		cacheDir = c.Refine.CacheDir
+	}
+	disk := refine.OpenDiskCache(cacheDir, memo)
+	var diskErr error
+	if _, err := disk.Load(); err != nil {
+		diskErr = err
+	}
+
 	streamer := newFindingStreamer(c.Stream, shards)
 	progress := newProgressSink(c.Progress, c.ProgressEvery, shards)
 	var poolPM *parallel.PoolMetrics
@@ -582,8 +618,16 @@ func (c Campaign) Run() Stats {
 		out.MemoEvictions = memo.Evictions()
 		out.MemoSets = memo.Len()
 	}
+	if disk != nil {
+		if err := disk.Save(); err != nil && diskErr == nil {
+			diskErr = err
+		}
+		ds := disk.Stats()
+		out.DiskLoads, out.DiskHits, out.DiskStaleRejects = ds.Loads, ds.Hits, ds.StaleRejects
+		out.DiskErr = diskErr
+	}
 	runSpan.End()
-	c.publish(out, shards, &check, prog, poolPM, memo != nil)
+	c.publish(out, shards, &check, prog, poolPM, memo != nil, disk != nil)
 	progress.tick(true)
 	return out
 }
@@ -594,7 +638,7 @@ func (c Campaign) Run() Stats {
 // everything touching the shared memo is Scheduling, because which
 // worker computes a shared behaviour set first is a race whenever more
 // than one runs — and the class must not depend on the worker count.
-func (c Campaign) publish(out Stats, shards int, check *refine.CheckMetrics, prog core.ProgramCacheStats, poolPM *parallel.PoolMetrics, sharedMemo bool) {
+func (c Campaign) publish(out Stats, shards int, check *refine.CheckMetrics, prog core.ProgramCacheStats, poolPM *parallel.PoolMetrics, sharedMemo, diskCache bool) {
 	reg := c.Telemetry
 	if reg == nil {
 		return
@@ -622,6 +666,16 @@ func (c Campaign) publish(out Stats, shards int, check *refine.CheckMetrics, pro
 		reg.Counter("memo_hits_total", telemetry.Scheduling, "shared-memo hits").Add(out.MemoHits)
 		reg.Counter("memo_evictions_total", telemetry.Scheduling, "shared-memo evictions").Add(out.MemoEvictions)
 		reg.Gauge("memo_sets", telemetry.Scheduling, "behaviour sets resident in the shared memo").Set(int64(out.MemoSets))
+	}
+	if diskCache {
+		// Which lookups land on disk-loaded entries depends on worker
+		// interleaving (and residency on eviction), so the disk split is
+		// Scheduling like every shared-memo counter.
+		cache.DiskStats{
+			Loads:        out.DiskLoads,
+			Hits:         out.DiskHits,
+			StaleRejects: out.DiskStaleRejects,
+		}.Publish(reg, telemetry.Scheduling)
 	}
 	poolPM.Publish(reg)
 	if out.Opt != nil {

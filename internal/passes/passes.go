@@ -115,11 +115,15 @@ func RunPass(p Pass, f *ir.Func, cfg *Config) bool {
 // registered preserved-analyses declaration to the cache.
 func RunPassWithManager(p Pass, f *ir.Func, cfg *Config, am *AnalysisManager) bool {
 	changed := p.Run(f, cfg, am)
+	// Always consume the pass's dynamic preserved-set claim, even when
+	// nothing changed: a leftover claim must never soften the next
+	// pass's invalidation.
+	extra := am.TakeRunPreserved()
 	if cfg.VerifyAfterEach {
 		verifyAfter(p.Name(), f, cfg)
 	}
 	if changed {
-		am.Invalidate(Preserved(p.Name()))
+		am.Invalidate(Preserved(p.Name()) | extra)
 	}
 	return changed
 }
@@ -299,10 +303,14 @@ func (pm *PassManager) runStep(p Pass, f *ir.Func, cfg *Config, am *AnalysisMana
 	if changed && pm.PrintChanged != nil {
 		fmt.Fprintf(pm.PrintChanged, "; IR Dump After %s on @%s\n%s\n", p.Name(), f.Name(), f)
 	}
+	// The dynamic preserved-set claim (Manager.PreserveDuringRun) is
+	// taken unconditionally — even on the no-change and no-cache paths
+	// — so it can never leak into a later pass's invalidation.
+	extra := am.TakeRunPreserved()
 	if pm.NoAnalysisCache {
 		am.InvalidateAll()
 	} else if changed {
-		am.Invalidate(Preserved(p.Name()))
+		am.Invalidate(Preserved(p.Name()) | extra)
 	}
 	if pm.VerifyEach {
 		// After invalidation on purpose: what survives in the cache is

@@ -2,11 +2,11 @@ package refine
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"tameir/internal/cache"
 	"tameir/internal/core"
 	"tameir/internal/ir"
 )
@@ -38,27 +38,26 @@ import (
 // pipeline upholds this by checking sources it never mutates and
 // transforming private clones.
 //
-// A Memo IS safe for concurrent use: the function table is split over
-// memoShardCount lock-striped shards and the counters are atomic, so
-// one memo can back every worker of a campaign and hits cross worker
-// shards. Each goroutine must drive it through its own MemoSession
-// (NewSession), which holds the only unshared state — the identity
-// cache. When the entry cap is reached, a clock (second-chance) sweep
-// evicts cold behaviour sets to admit new ones, so long campaigns keep
-// a warm working set; an eviction can cost a recomputation but never
-// changes a verdict (TestMemoEvictionKeepsVerdicts).
+// A Memo IS safe for concurrent use: the function table is a
+// cache.StringMap split over memoShardCount lock stripes and the
+// counters are atomic, so one memo can back every worker of a campaign
+// and hits cross worker shards. Each goroutine must drive it through
+// its own MemoSession (NewSession), which holds the only unshared
+// state — the identity cache. Bounded residency is a cache.Clock
+// (second-chance) sweep that evicts cold behaviour sets to admit new
+// ones, so long campaigns keep a warm working set; an eviction can
+// cost a recomputation but never changes a verdict
+// (TestMemoEvictionKeepsVerdicts).
+//
+// A memo can also be snapshotted to disk and reloaded by a later
+// process (Snapshot/LoadSnapshot in memosnap.go); entries that arrived
+// from a snapshot keep a provenance bit so warm-start hits are
+// countable as cache_disk_hits_total.
 type Memo struct {
-	max    int
-	shards [memoShardCount]memoShard
+	funcs *cache.StringMap[*memoFuncEntry]
+	clock *cache.Clock[evictRef]
 
-	hits, lookups, evictions atomic.Uint64
-
-	// ring is the clock of admitted behaviour sets, bounded by max.
-	ring struct {
-		mu   sync.Mutex
-		refs []evictRef
-		hand int
-	}
+	hits, lookups, diskHits atomic.Uint64
 }
 
 // memoShardCount is the lock-striping factor. 64 keeps contention
@@ -67,13 +66,8 @@ type Memo struct {
 // the session identity cache).
 const memoShardCount = 64
 
-type memoShard struct {
-	mu    sync.Mutex
-	funcs map[string]*memoFuncEntry
-}
-
 type memoFuncEntry struct {
-	shard *memoShard // home shard; guards all mutable state below
+	mu *sync.Mutex // home stripe lock; guards all mutable state below
 	// sets is the generic second level, keyed by input-vector text.
 	sets map[string]*strSet
 	// byIdx is the fast second level used by Check, keyed by the input
@@ -84,14 +78,16 @@ type memoFuncEntry struct {
 }
 
 type idxSet struct {
-	set BehaviorSet
-	ok  bool
-	ref bool // clock reference bit, set on hit
+	set  BehaviorSet
+	ok   bool
+	ref  bool // clock reference bit, set on hit
+	disk bool // loaded from a -cache-dir snapshot
 }
 
 type strSet struct {
-	set BehaviorSet
-	ref bool
+	set  BehaviorSet
+	ref  bool
+	disk bool
 }
 
 // evictRef locates one admitted behaviour set for the clock sweep.
@@ -151,11 +147,10 @@ func NewMemo(max int) *Memo {
 	if max <= 0 {
 		max = DefaultMemoEntries
 	}
-	m := &Memo{max: max}
-	for i := range m.shards {
-		m.shards[i].funcs = make(map[string]*memoFuncEntry)
+	return &Memo{
+		funcs: cache.NewStringMap[*memoFuncEntry](memoShardCount),
+		clock: cache.NewClock[evictRef](max),
 	}
-	return m
 }
 
 // NewSession returns a fresh session over m for use by one goroutine.
@@ -169,14 +164,23 @@ func (m *Memo) Hits() uint64 { return m.hits.Load() }
 func (m *Memo) Lookups() uint64 { return m.lookups.Load() }
 
 // Evictions returns the number of behaviour sets evicted by the clock.
-func (m *Memo) Evictions() uint64 { return m.evictions.Load() }
+func (m *Memo) Evictions() uint64 { return m.clock.Evictions() }
+
+// DiskHits returns the number of hits served by entries that arrived
+// from a -cache-dir snapshot rather than this process's own work.
+func (m *Memo) DiskHits() uint64 { return m.diskHits.Load() }
 
 // Len returns the number of cached behaviour sets (approximate while
 // concurrent stores are in flight).
-func (m *Memo) Len() int {
-	m.ring.mu.Lock()
-	defer m.ring.mu.Unlock()
-	return len(m.ring.refs)
+func (m *Memo) Len() int { return m.clock.Len() }
+
+// entryFor resolves the per-function entry for a fully rendered key,
+// creating it on first use. The constructor keeps the stripe mutex as
+// the entry's guard.
+func (m *Memo) entryFor(key string) *memoFuncEntry {
+	return m.funcs.GetOrCreate(key, func(mu *sync.Mutex) *memoFuncEntry {
+		return &memoFuncEntry{mu: mu}
+	})
 }
 
 // funcEntry resolves the per-function cache level, through the
@@ -187,28 +191,25 @@ func (s *MemoSession) funcEntry(fn *ir.Func, mo memoOpts) *memoFuncEntry {
 			return s.ident[i].entry
 		}
 	}
+	entry := s.m.entryFor(memoFuncKey(fn, mo))
+	s.ident[s.identPos] = memoIdent{fn: fn, opts: mo, entry: entry}
+	s.identPos = (s.identPos + 1) % len(s.ident)
+	return entry
+}
+
+// memoFuncKey renders the first-level key: the semantics/bounds
+// fingerprint followed by the canonical function text. Everything the
+// behaviour set (and Check's ordinal enumeration) depends on is in
+// here, which is also what makes the key stable across processes —
+// the property the snapshot layer rides on.
+func memoFuncKey(fn *ir.Func, mo memoOpts) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d|%d|%d|%t|%d|%d|%d|%d|%d|%d\x00",
 		mo.opts.Mode, mo.opts.BranchPoison, mo.opts.SelectPoisonCond,
 		mo.opts.SelectArmPoisonEither, mo.opts.Fuel, mo.opts.MaxCallDepth,
 		mo.maxChoices, mo.maxFanout, mo.maxExecs, mo.fuel)
 	b.WriteString(fn.String())
-	key := b.String()
-
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	sh := &s.m.shards[h.Sum32()%memoShardCount]
-	sh.mu.Lock()
-	entry := sh.funcs[key]
-	if entry == nil {
-		entry = &memoFuncEntry{shard: sh}
-		sh.funcs[key] = entry
-	}
-	sh.mu.Unlock()
-
-	s.ident[s.identPos] = memoIdent{fn: fn, opts: mo, entry: entry}
-	s.identPos = (s.identPos + 1) % len(s.ident)
-	return entry
+	return b.String()
 }
 
 func memoOptsOf(opts core.Options, cfg Config) memoOpts {
@@ -241,30 +242,37 @@ func argsKey(args []core.Value) string {
 func (s *MemoSession) lookup(fn *ir.Func, args []core.Value, ordinal int, opts core.Options, cfg Config) (memoRef, BehaviorSet, bool) {
 	s.m.lookups.Add(1)
 	entry := s.funcEntry(fn, memoOptsOf(opts, cfg))
-	sh := entry.shard
 	if ordinal >= 0 {
 		ref := memoRef{entry: entry, ordinal: ordinal}
-		sh.mu.Lock()
+		entry.mu.Lock()
 		if ordinal < len(entry.byIdx) && entry.byIdx[ordinal].ok {
 			entry.byIdx[ordinal].ref = true
 			set := entry.byIdx[ordinal].set
-			sh.mu.Unlock()
+			disk := entry.byIdx[ordinal].disk
+			entry.mu.Unlock()
 			s.m.hits.Add(1)
+			if disk {
+				s.m.diskHits.Add(1)
+			}
 			return ref, set, true
 		}
-		sh.mu.Unlock()
+		entry.mu.Unlock()
 		return ref, BehaviorSet{}, false
 	}
 	ref := memoRef{entry: entry, argsKey: argsKey(args), ordinal: -1}
-	sh.mu.Lock()
+	entry.mu.Lock()
 	if e := entry.sets[ref.argsKey]; e != nil {
 		e.ref = true
 		set := e.set
-		sh.mu.Unlock()
+		disk := e.disk
+		entry.mu.Unlock()
 		s.m.hits.Add(1)
+		if disk {
+			s.m.diskHits.Add(1)
+		}
 		return ref, set, true
 	}
-	sh.mu.Unlock()
+	entry.mu.Unlock()
 	return ref, BehaviorSet{}, false
 }
 
@@ -273,65 +281,51 @@ func (s *MemoSession) store(ref memoRef, set BehaviorSet) {
 	if set.Incomplete {
 		return
 	}
-	sh := ref.entry.shard
-	sh.mu.Lock()
+	e := ref.entry
+	e.mu.Lock()
 	if ref.ordinal >= 0 {
-		for len(ref.entry.byIdx) <= ref.ordinal {
-			ref.entry.byIdx = append(ref.entry.byIdx, idxSet{})
+		for len(e.byIdx) <= ref.ordinal {
+			e.byIdx = append(e.byIdx, idxSet{})
 		}
-		if ref.entry.byIdx[ref.ordinal].ok {
-			sh.mu.Unlock()
+		if e.byIdx[ref.ordinal].ok {
+			e.mu.Unlock()
 			return // another session raced the same computation
 		}
-		ref.entry.byIdx[ref.ordinal] = idxSet{set: set, ok: true}
+		e.byIdx[ref.ordinal] = idxSet{set: set, ok: true}
 	} else {
-		if _, dup := ref.entry.sets[ref.argsKey]; dup {
-			sh.mu.Unlock()
+		if _, dup := e.sets[ref.argsKey]; dup {
+			e.mu.Unlock()
 			return
 		}
-		if ref.entry.sets == nil {
-			ref.entry.sets = make(map[string]*strSet)
+		if e.sets == nil {
+			e.sets = make(map[string]*strSet)
 		}
-		ref.entry.sets[ref.argsKey] = &strSet{set: set}
+		e.sets[ref.argsKey] = &strSet{set: set}
 	}
-	sh.mu.Unlock()
+	e.mu.Unlock()
 	s.m.admit(evictRef{entry: ref.entry, key: ref.argsKey, ordinal: ref.ordinal})
 }
 
 // admit registers a freshly stored set with the clock, evicting a cold
 // set first when the memo is at capacity. Lock order is strictly
-// ring → shard; the insert path above holds only the shard lock, so
+// ring → stripe; the insert path above holds only the stripe lock, so
 // the two cannot deadlock.
 func (m *Memo) admit(r evictRef) {
-	ring := &m.ring
-	ring.mu.Lock()
-	defer ring.mu.Unlock()
-	if len(ring.refs) < m.max {
-		ring.refs = append(ring.refs, r)
-		return
-	}
-	// Second chance: clear reference bits until a cold victim appears.
-	// Terminates within two laps — the first lap clears every bit.
-	for {
-		v := ring.refs[ring.hand]
-		sh := v.entry.shard
-		sh.mu.Lock()
-		if v.entry.deref(v) {
-			sh.mu.Unlock()
-			ring.hand = (ring.hand + 1) % len(ring.refs)
-			continue
-		}
-		v.entry.remove(v)
-		sh.mu.Unlock()
-		ring.refs[ring.hand] = r
-		ring.hand = (ring.hand + 1) % len(ring.refs)
-		m.evictions.Add(1)
-		return
-	}
+	m.clock.Admit(r,
+		func(v evictRef) bool {
+			v.entry.mu.Lock()
+			defer v.entry.mu.Unlock()
+			return v.entry.deref(v)
+		},
+		func(v evictRef) {
+			v.entry.mu.Lock()
+			defer v.entry.mu.Unlock()
+			v.entry.remove(v)
+		})
 }
 
 // deref reports whether the referenced set was recently hit, clearing
-// the reference bit. Caller holds the entry's shard lock.
+// the reference bit. Caller holds the entry's stripe lock.
 func (e *memoFuncEntry) deref(v evictRef) bool {
 	if v.ordinal >= 0 {
 		if v.ordinal >= len(e.byIdx) || !e.byIdx[v.ordinal].ref {
@@ -348,7 +342,8 @@ func (e *memoFuncEntry) deref(v evictRef) bool {
 	return true
 }
 
-// remove drops the referenced set. Caller holds the entry's shard lock.
+// remove drops the referenced set. Caller holds the entry's stripe
+// lock.
 func (e *memoFuncEntry) remove(v evictRef) {
 	if v.ordinal >= 0 {
 		if v.ordinal < len(e.byIdx) {

@@ -162,6 +162,15 @@ type Config struct {
 	// consumes — computed or memo-hit — in deterministic order. Used by
 	// tame-bench to fingerprint engine equivalence.
 	BehaviorHook func(BehaviorSet)
+
+	// CacheDir, when non-empty, names a directory of persistent cache
+	// snapshots (internal/cache) for warm starts across processes.
+	// Check itself never touches the directory — it is carried here so
+	// drivers that receive a Config (campaigns, CLIs) agree on one
+	// location; they open it via OpenDiskCache around their Memo's
+	// lifetime. Snapshots are fingerprinted and rejected wholesale on
+	// mismatch, so a warm start can never change a verdict.
+	CacheDir string
 }
 
 // DefaultConfig is tuned for the Section 6 experiment: 2-bit

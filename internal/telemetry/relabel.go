@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+)
+
+// MergeLabeled is Merge with extra labels stamped onto every series:
+// each of src's metrics is folded into r under its name re-rendered
+// with the given key/value pairs added. Names that already carry
+// labels (rendered by L) keep them — existing keys win over the added
+// ones, so a harness can stamp a coarse "experiment" label without
+// clobbering the finer per-shard labels the campaign emitted. The
+// result is re-canonicalized through L, so series sort identically no
+// matter which layer labeled them first.
+//
+// The bench harnesses use this to fold one sub-registry per
+// experiment row into the process registry: the row's counters stay
+// distinguishable (labels) while unlabeled process-wide series from
+// different rows still sum, exactly like Merge.
+func (r *Registry) MergeLabeled(src *Registry, kv ...string) {
+	if r == nil || src == nil {
+		return
+	}
+	if len(kv) == 0 {
+		r.Merge(src)
+		return
+	}
+	if len(kv)%2 != 0 {
+		panic("telemetry: MergeLabeled requires key/value pairs")
+	}
+	for _, m := range src.snapshotMetrics() {
+		name := relabel(m.name, kv)
+		switch m.kind {
+		case KindCounter:
+			r.Counter(name, m.class, m.help).Add(m.c.Load())
+		case KindGauge:
+			r.Gauge(name, m.class, m.help).Add(m.g.Load())
+		case KindHistogram:
+			dst := r.Histogram(name, m.class, m.help)
+			var counts [HistBuckets]uint64
+			for i := range counts {
+				counts[i] = m.h.buckets[i].Load()
+			}
+			dst.AddBuckets(&counts, m.h.sum.Load())
+		}
+	}
+}
+
+// relabel renders name with the extra key/value pairs merged into any
+// labels it already carries (existing keys win).
+func relabel(name string, kv []string) string {
+	base, existing := parseLabels(name)
+	have := make(map[string]bool, len(existing)/2)
+	for i := 0; i < len(existing); i += 2 {
+		have[existing[i]] = true
+	}
+	merged := existing
+	for i := 0; i < len(kv); i += 2 {
+		if !have[kv[i]] {
+			merged = append(merged, kv[i], kv[i+1])
+		}
+	}
+	return L(base, merged...)
+}
+
+// parseLabels splits a canonical labeled name (as rendered by L) into
+// its base and flattened key/value pairs. Malformed names are treated
+// as label-free — relabeling then appends the new labels to the whole
+// string's base, which is the safe degradation.
+func parseLabels(name string) (string, []string) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	body := name[open+1 : len(name)-1]
+	base := name[:open]
+	var kv []string
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || len(body) <= eq+1 || body[eq+1] != '"' {
+			return name, nil
+		}
+		key := body[:eq]
+		rest := body[eq+1:] // starts at the opening quote
+		end := quotedEnd(rest)
+		if end < 0 {
+			return name, nil
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return name, nil
+		}
+		kv = append(kv, key, val)
+		body = rest[end+1:]
+		if strings.HasPrefix(body, ",") {
+			body = body[1:]
+		} else if len(body) != 0 {
+			return name, nil
+		}
+	}
+	return base, kv
+}
+
+// quotedEnd returns the index of the closing quote of the Go-quoted
+// string starting at s[0] (which must be '"'), honoring escapes, or -1.
+func quotedEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}

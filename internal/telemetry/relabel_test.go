@@ -1,0 +1,91 @@
+package telemetry
+
+import "testing"
+
+func TestMergeLabeled(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("plain_total", Deterministic, "").Add(3)
+	src.Counter(L("sharded_total", "shard", "0001"), Deterministic, "").Add(2)
+	src.Gauge("size", Scheduling, "").Set(5)
+	src.Histogram("obs", Deterministic, "").Observe(4)
+
+	dst := NewRegistry()
+	dst.MergeLabeled(src, "experiment", "x")
+
+	if got := dst.Counter(`plain_total{experiment="x"}`, Deterministic, "").Value(); got != 3 {
+		t.Errorf("plain counter = %d, want 3", got)
+	}
+	// Pre-labeled names keep their labels; the merged set is
+	// re-canonicalized (keys sorted: experiment < shard).
+	if got := dst.Counter(`sharded_total{experiment="x",shard="0001"}`, Deterministic, "").Value(); got != 2 {
+		t.Errorf("sharded counter = %d, want 2", got)
+	}
+	if got := dst.Gauge(`size{experiment="x"}`, Scheduling, "").Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	if got := dst.Histogram(`obs{experiment="x"}`, Deterministic, "").Count(); got != 1 {
+		t.Errorf("histogram count = %d, want 1", got)
+	}
+}
+
+// An existing label key wins over the stamped one: the finer label was
+// set closer to the measurement.
+func TestMergeLabeledExistingKeyWins(t *testing.T) {
+	src := NewRegistry()
+	src.Counter(L("c_total", "experiment", "inner"), Deterministic, "").Add(1)
+	dst := NewRegistry()
+	dst.MergeLabeled(src, "experiment", "outer")
+	if got := dst.Counter(`c_total{experiment="inner"}`, Deterministic, "").Value(); got != 1 {
+		t.Errorf("inner label lost: got %d", got)
+	}
+}
+
+// Merging twice sums, like Merge.
+func TestMergeLabeledAccumulates(t *testing.T) {
+	dst := NewRegistry()
+	for i := 0; i < 2; i++ {
+		src := NewRegistry()
+		src.Counter("n_total", Deterministic, "").Add(2)
+		dst.MergeLabeled(src, "k", "v")
+	}
+	if got := dst.Counter(`n_total{k="v"}`, Deterministic, "").Value(); got != 4 {
+		t.Errorf("accumulated = %d, want 4", got)
+	}
+}
+
+func TestParseLabels(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		base string
+		kv   []string
+	}{
+		{"plain_total", "plain_total", nil},
+		{`a_total{k="v"}`, "a_total", []string{"k", "v"}},
+		{`a_total{a="1",b="2"}`, "a_total", []string{"a", "1", "b", "2"}},
+		{`a_total{k="comma,brace}"}`, "a_total", []string{"k", "comma,brace}"}},
+		{`a_total{k="esc\"q"}`, "a_total", []string{"k", `esc"q`}},
+		// Malformed bodies degrade to label-free (whole string is base).
+		{`a_total{k=}`, `a_total{k=}`, nil},
+		{`a_total{k="unterminated}`, `a_total{k="unterminated}`, nil},
+	} {
+		base, kv := parseLabels(tc.in)
+		if base != tc.base || len(kv) != len(tc.kv) {
+			t.Errorf("parseLabels(%q) = %q %v, want %q %v", tc.in, base, kv, tc.base, tc.kv)
+			continue
+		}
+		for i := range kv {
+			if kv[i] != tc.kv[i] {
+				t.Errorf("parseLabels(%q) kv[%d] = %q, want %q", tc.in, i, kv[i], tc.kv[i])
+			}
+		}
+	}
+}
+
+// The relabel round-trip: L-rendered names parse back to exactly what
+// L was given (sorted), so stamping is idempotent on canonical names.
+func TestRelabelCanonical(t *testing.T) {
+	name := L("m_total", "b", "2", "a", "1")
+	if got := relabel(name, []string{"c", "3"}); got != `m_total{a="1",b="2",c="3"}` {
+		t.Errorf("relabel = %q", got)
+	}
+}
