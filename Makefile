@@ -72,6 +72,7 @@ ci: vet test
 	$(GO) run ./cmd/tame-fuzz -poison-oracle -instrs 1 -n 0 -sem freeze -workers 2 -metrics - \
 	  | $(GO) run ./cmd/tame-metrics -check 'poison_oracle_funcs_total>0,poison_oracle_claims_total>0,poison_oracle_execs_total>0,poison_oracle_violations_total=0'
 	$(MAKE) ci-cache
+	$(MAKE) ci-workload
 
 # The persistent-cache gate: the same quick freeze campaign runs twice
 # against one -cache-dir. The cold run seeds the snapshots; the warm
@@ -91,3 +92,27 @@ ci-cache:
 	cmp ci-cache/cold-findings.txt ci-cache/warm-findings.txt
 	$(GO) run ./cmd/tame-metrics -check 'cache_disk_loads_total=0,cache_disk_hits_total=0,cache_disk_stale_rejects_total=0' ci-cache/cold-metrics.json
 	$(GO) run ./cmd/tame-metrics -check 'cache_disk_loads_total>0,cache_disk_hits_total>0,cache_disk_stale_rejects_total=0,memo_hits_total/memo_lookups_total>=0.5' ci-cache/warm-metrics.json
+
+# The workload-layer gate, in two halves. Determinism: the same seeded
+# mutation campaign (unsound legacy -O2, reducer on) runs at two worker
+# counts and cmp enforces byte-identical reduced findings AND a
+# byte-identical final corpus; the exhaustive-on-Source path gets the
+# same cmp across workers 1 vs 4, proving the Source refactor did not
+# perturb the original stream. Liveness: the mutation run's metric
+# snapshot must show a populated corpus, novel coverage keys, and a
+# reducer that actually shrank findings. The ci-workload/ dir — both
+# findings files, the corpus, and the metric snapshot — is kept for the
+# workflow's fuzz-corpus artifact.
+.PHONY: ci-workload
+ci-workload:
+	rm -rf ci-workload && mkdir -p ci-workload
+	$(GO) run ./cmd/tame-fuzz -validate -source mutate -seed 7 -epochs 3 -n 60 -sem legacy -unsound -reduce -workers 2 \
+	  -corpus ci-workload/corpus-w2.ll -metrics ci-workload/mutate-metrics.json > ci-workload/mutate-w2.txt || true
+	$(GO) run ./cmd/tame-fuzz -validate -source mutate -seed 7 -epochs 3 -n 60 -sem legacy -unsound -reduce -workers 8 \
+	  -corpus ci-workload/corpus-w8.ll > ci-workload/mutate-w8.txt || true
+	cmp ci-workload/mutate-w2.txt ci-workload/mutate-w8.txt
+	cmp ci-workload/corpus-w2.ll ci-workload/corpus-w8.ll
+	$(GO) run ./cmd/tame-metrics -check 'workload_funcs_total>0,workload_epochs_total>0,corpus_size>0,coverage_keys>0,reduce_steps_total>0,reduce_findings_total>0' ci-workload/mutate-metrics.json
+	$(GO) run ./cmd/tame-fuzz -validate -n 300 -workers 1 -sem freeze > ci-workload/exhaustive-w1.txt
+	$(GO) run ./cmd/tame-fuzz -validate -source exhaustive -n 300 -workers 4 -sem freeze > ci-workload/exhaustive-w4.txt
+	cmp ci-workload/exhaustive-w1.txt ci-workload/exhaustive-w4.txt

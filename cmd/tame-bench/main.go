@@ -9,7 +9,12 @@
 //	-exp ablation     freeze-aware vs freeze-blind optimizations
 //	-exp pipeline     E11: parallel fuzz-and-validate throughput
 //	-exp exec         E12: execution tiers (interpreter/closures/bytecode) × workers
+//	-exp workload     E13: pluggable workloads (exhaustive / mutate / wide8)
 //	-exp all          everything
+//
+// The E11 and E13 rows share one JSON file (-json, conventionally
+// BENCH_pipeline.json): whichever of the two experiments run, their
+// rows are accumulated and written once at the end.
 //
 // E4–E7 share one measurement sweep; the report prints all four
 // sections when any of them is requested.
@@ -28,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: validate, compiletime, memory, codesize, runtime, ablation, pipeline, exec, all")
+	exp := flag.String("exp", "all", "experiment: validate, compiletime, memory, codesize, runtime, ablation, pipeline, exec, workload, all")
 	reps := flag.Int("reps", 3, "compile repetitions for wall-time medians")
 	valInstrs := flag.Int("validate-instrs", 2, "instructions per generated function (E3)")
 	valMax := flag.Int("validate-max", 3000, "max generated functions per pass (E3)")
@@ -37,6 +42,8 @@ func main() {
 	execMax := flag.Int("exec-max", 300, "max generated functions per semantics (E12)")
 	execWorkers := flag.String("workers", "1,2", "comma-separated worker counts for the E12 engine×pool rows")
 	execTier := flag.String("tier", "", "highest execution tier to measure in E12: off, closure, auto or bytecode (default bytecode)")
+	workloadSeed := flag.Int64("workload-seed", 1, "mutation RNG seed for the E13 workload rows")
+	workloadWorkers := flag.Int("workload-workers", 2, "worker count for the E13 workload rows")
 	quick := flag.Bool("quick", false, "shrink the exec experiment for CI smoke runs")
 	jsonPath := flag.String("json", "", "also write the experiment's rows as JSON to this file (E11, or E12 with -exp exec)")
 	metricsPath := flag.String("metrics", "", "write process engine/cache metrics after the experiments ('-' = text on stdout, *.json = JSON)")
@@ -56,22 +63,29 @@ func main() {
 	wantAblation := false
 	wantPipeline := false
 	wantExec := false
-	switch *exp {
-	case "all":
-		wantMeasure, wantValidate, wantAblation, wantPipeline, wantExec = true, true, true, true, true
-	case "validate":
-		wantValidate = true
-	case "compiletime", "memory", "codesize", "runtime":
-		wantMeasure = true
-	case "ablation":
-		wantAblation = true
-	case "pipeline":
-		wantPipeline = true
-	case "exec":
-		wantExec = true
-	default:
-		fmt.Fprintf(os.Stderr, "tame-bench: unknown experiment %q\n", *exp)
-		os.Exit(1)
+	wantWorkload := false
+	// -exp accepts a comma-separated list (e.g. "pipeline,workload" to
+	// regenerate BENCH_pipeline.json with both row families).
+	for _, e := range strings.Split(*exp, ",") {
+		switch strings.TrimSpace(e) {
+		case "all":
+			wantMeasure, wantValidate, wantAblation, wantPipeline, wantExec, wantWorkload = true, true, true, true, true, true
+		case "validate":
+			wantValidate = true
+		case "compiletime", "memory", "codesize", "runtime":
+			wantMeasure = true
+		case "ablation":
+			wantAblation = true
+		case "pipeline":
+			wantPipeline = true
+		case "exec":
+			wantExec = true
+		case "workload":
+			wantWorkload = true
+		default:
+			fmt.Fprintf(os.Stderr, "tame-bench: unknown experiment %q\n", e)
+			os.Exit(1)
+		}
 	}
 
 	if wantValidate {
@@ -96,6 +110,10 @@ func main() {
 		}
 		bench.Report(os.Stdout, base, proto)
 	}
+
+	// E11 and E13 rows accumulate here and are written to -json once,
+	// after whichever of the two experiments ran.
+	var pipeRows []bench.PipelineResult
 
 	if wantPipeline {
 		fmt.Println("# E11: parallel fuzz-and-validate pipeline throughput")
@@ -140,17 +158,31 @@ func main() {
 		}
 		bench.ReportWarmStart(os.Stdout, ws)
 		rows = append(rows, ws...)
-		if *jsonPath != "" {
-			out, err := json.MarshalIndent(rows, "", "  ")
-			if err != nil {
-				fatal(err)
-			}
-			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "tame-bench: wrote %s\n", *jsonPath)
-		}
+		pipeRows = append(pipeRows, rows...)
 		fmt.Println()
+	}
+
+	if wantWorkload {
+		fmt.Println("# E13: pluggable workloads (exhaustive / mutate / wide8)")
+		instrs, max := *valInstrs, *valMax
+		if *quick {
+			instrs, max = 2, 200
+		}
+		rows := bench.MeasureWorkloads(instrs, max, *workloadWorkers, *workloadSeed, reg)
+		bench.ReportWorkloads(os.Stdout, rows)
+		pipeRows = append(pipeRows, rows...)
+		fmt.Println()
+	}
+
+	if (wantPipeline || wantWorkload) && *jsonPath != "" {
+		out, err := json.MarshalIndent(pipeRows, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tame-bench: wrote %s\n", *jsonPath)
 	}
 
 	if wantExec {

@@ -6,9 +6,11 @@
 // Usage:
 //
 //	tame-fuzz [-mode exhaustive|random] [-instrs N] [-n MAX] [-seed S] [-width W]
-//	tame-fuzz -validate [-passes p1,p2|o2] [-sem legacy|freeze] [-unsound]
-//	          [-verify-each] [-workers N] [-no-memo] [-stats]
-//	          [-instrs N] [-n MAX] [-width W]
+//	tame-fuzz -validate [-source exhaustive|mutate|wide] [-passes p1,p2|o2]
+//	          [-sem legacy|freeze] [-unsound] [-verify-each]
+//	          [-workers N] [-no-memo] [-stats] [-instrs N] [-n MAX]
+//	          [-width W] [-seed S] [-epochs N] [-corpus FILE] [-reduce]
+//	          [-trace-phases]
 //	tame-fuzz -poison-oracle [-sem legacy|freeze] [-workers N]
 //	          [-instrs N] [-n MAX] [-width W] [-metrics file|-]
 //
@@ -19,6 +21,24 @@
 // are byte-identical for every worker count. -verify-each additionally
 // runs the full checker battery (IR verifier, SSA dominance, analysis
 // cache coherence) between every pass step of the campaign pipeline.
+//
+// -source selects the candidate workload:
+//
+//	exhaustive   every function in the small space, in order (default)
+//	mutate       coverage-guided CFG mutation fuzzing seeded from the
+//	             exhaustive prefix (and -corpus, if the file exists);
+//	             -seed fixes the RNG, -epochs the generation count, and
+//	             the final corpus is written back to -corpus
+//	wide         a deterministic stride sample of the i8/i16 space
+//	             (-width selects 8 or 16) with the exhaustive-input
+//	             cutoff raised so verdicts still close
+//
+// -reduce pushes every finding through the automatic reducer: a
+// greedy, deterministic shrink loop that deletes instructions, drops
+// branch arms and zeroes operands while re-checking the refinement
+// verdict after every step. -trace-phases adds per-shard and
+// per-check-phase telemetry spans to the -metrics snapshot (off by
+// default; spans measure wall time, so they are scheduling-dependent).
 //
 // With -poison-oracle the same exhaustive function space is swept by
 // the poison-analysis soundness oracle instead: every value the
@@ -63,7 +83,7 @@ func main() {
 	mode := flag.String("mode", "exhaustive", "exhaustive or random")
 	instrs := flag.Int("instrs", 2, "instructions per function (exhaustive mode)")
 	n := flag.Int("n", 100, "maximum number of functions (0 = unbounded)")
-	seed := flag.Int64("seed", 1, "random seed (random mode)")
+	seed := flag.Int64("seed", 1, "RNG seed (random mode and -source mutate)")
 	width := flag.Uint("width", 2, "integer bitwidth")
 	validate := flag.Bool("validate", false, "optimize and refinement-check every function")
 	passList := flag.String("passes", "o2", "comma-separated passes to validate, or o2")
@@ -81,6 +101,11 @@ func main() {
 	debugSnapRing := flag.Int("debug-snapshot-ring", 0, "debug-server history ring depth (0 = default)")
 	tier := flag.String("tier", "", "execution tier for -validate: off (interpreter), closure, auto or bytecode (default auto)")
 	cacheDir := flag.String("cache-dir", "", "persistent cache directory for -validate warm starts (loaded before, refreshed after the run)")
+	source := flag.String("source", "exhaustive", "candidate workload for -validate: exhaustive, mutate or wide")
+	epochs := flag.Int("epochs", 0, "mutation epochs for -source mutate (0 = default)")
+	corpus := flag.String("corpus", "", "corpus file for -source mutate: seeds loaded before the run (if present), final corpus written after")
+	reduce := flag.Bool("reduce", false, "shrink every finding with the automatic reducer before reporting it")
+	tracePhases := flag.Bool("trace-phases", false, "record per-shard and per-check-phase telemetry spans (wall-clock; scheduling-dependent)")
 	flag.Parse()
 
 	if *poisonOracle {
@@ -99,6 +124,8 @@ func main() {
 			metricsPath: *metricsPath, progress: *progress, debugAddr: *debugAddr,
 			debugSnapEvery: *debugSnapEvery, debugSnapRing: *debugSnapRing,
 			tier: *tier, cacheDir: *cacheDir,
+			source: *source, seed: *seed, epochs: *epochs, corpus: *corpus,
+			reduce: *reduce, tracePhases: *tracePhases,
 		})
 		return
 	}
@@ -141,6 +168,12 @@ type campaignFlags struct {
 	debugSnapRing    int
 	tier             string
 	cacheDir         string
+	source           string
+	seed             int64
+	epochs           int
+	corpus           string
+	reduce           bool
+	tracePhases      bool
 }
 
 func runCampaign(fl campaignFlags) {
@@ -198,14 +231,74 @@ func runCampaign(fl campaignFlags) {
 		rcfg.Tier = policy
 		rcfg.Interpret = off
 	}
+	verifyMode := ir.VerifyFreeze
+	if opts.Mode == core.Legacy {
+		verifyMode = ir.VerifyLegacy
+	}
+	var src optfuzz.Source
+	var msrc *optfuzz.MutationSource
+	switch fl.source {
+	case "", "exhaustive":
+		// nil Source: the campaign builds the exhaustive stream from Gen.
+	case "mutate":
+		mcfg := optfuzz.DefaultMutationConfig(fl.seed)
+		mcfg.Gen = gen
+		mcfg.Mode = verifyMode
+		if fl.epochs > 0 {
+			mcfg.Epochs = fl.epochs
+		}
+		if fl.n > 0 {
+			// -n bounds mutants per epoch here, not the whole run.
+			mcfg.PerEpoch = fl.n
+		}
+		if fl.corpus != "" {
+			seeds, err := optfuzz.LoadCorpus(fl.corpus)
+			switch {
+			case err == nil:
+				mcfg.Seeds = seeds
+				fmt.Fprintf(os.Stderr, "tame-fuzz: corpus: %d seed functions loaded from %s\n", len(seeds), fl.corpus)
+			case !os.IsNotExist(err):
+				fatal(err)
+			}
+		}
+		msrc = optfuzz.NewMutationSource(mcfg)
+		src = msrc
+	case "wide":
+		if fl.width != 8 && fl.width != 16 {
+			fatal(fmt.Errorf("-source wide needs -width 8 or 16, got %d", fl.width))
+		}
+		rcfg.ExhaustiveInputBits = fl.width
+		if fl.width == 16 && rcfg.MaxInputs < 1<<17 {
+			// A single i16 parameter contributes 2^16 concrete values
+			// plus the special values; leave headroom so verdicts still
+			// close exhaustively instead of degrading to sampling.
+			rcfg.MaxInputs = 1 << 17
+		}
+		src = optfuzz.NewWideSource(optfuzz.WideConfig{
+			Width:       fl.width,
+			NumInstrs:   fl.instrs,
+			MaxFuncs:    fl.n,
+			AllowPoison: true,
+		})
+	default:
+		fatal(fmt.Errorf("unknown source %q (want exhaustive, mutate or wide)", fl.source))
+	}
+	srcName := "exhaustive"
+	if src != nil {
+		srcName = src.Name()
+	}
+
 	c := optfuzz.Campaign{
 		Gen:         gen,
+		Source:      src,
 		Refine:      rcfg,
 		Pipeline:    pm,
 		PipelineCfg: pcfg,
 		Workers:     fl.workers,
 		MemoEntries: memoEntries,
 		CacheDir:    fl.cacheDir,
+		Reduce:      fl.reduce,
+		TracePhases: fl.tracePhases,
 	}
 
 	var reg *telemetry.Registry
@@ -234,7 +327,7 @@ func runCampaign(fl campaignFlags) {
 		go func() {
 			defer close(streamDone)
 			for f := range ch {
-				printFinding(f)
+				printFinding(f, srcName, fl.seed)
 			}
 		}()
 		start := time.Now()
@@ -247,6 +340,17 @@ func runCampaign(fl campaignFlags) {
 		close(streamDone)
 	}
 
+	// The campaign header carries the effective RNG seed so a finding
+	// can always be replayed; it deliberately omits the worker count,
+	// which never changes the stream (the CI determinism gate cmps
+	// stdout across worker counts). `-metrics -` reserves stdout for
+	// the metric exposition, so the header yields to stderr there.
+	headerOut := os.Stdout
+	if fl.metricsPath == "-" {
+		headerOut = os.Stderr
+	}
+	fmt.Fprintf(headerOut, "campaign: source=%s seed=%d sem=%s passes=%s\n", srcName, fl.seed, fl.sem, fl.passList)
+
 	start := time.Now()
 	st := c.Run()
 	elapsed := time.Since(start)
@@ -254,7 +358,7 @@ func runCampaign(fl campaignFlags) {
 	pl.Finish()
 
 	for _, f := range st.Findings {
-		printFinding(f)
+		printFinding(f, srcName, fl.seed)
 	}
 	perSec := float64(st.Funcs) / elapsed.Seconds()
 	fmt.Fprintf(os.Stderr,
@@ -262,6 +366,20 @@ func runCampaign(fl campaignFlags) {
 		st.Funcs, elapsed.Round(time.Millisecond), perSec, fl.workers,
 		st.Verified, st.Refuted, st.Inconclusive,
 		st.MemoHits, st.MemoLookups, 100*st.HitRate())
+	if st.Epochs > 1 {
+		fmt.Fprintf(os.Stderr, "tame-fuzz: %d epochs, corpus %d functions, %d coverage keys\n",
+			st.Epochs, st.CorpusSize, st.CoverageKeys)
+	}
+	if fl.reduce {
+		fmt.Fprintf(os.Stderr, "tame-fuzz: reducer: %d findings shrunk in %d steps (%d attempts, %d instructions removed)\n",
+			st.ReducedFindings, st.ReduceSteps, st.ReduceAttempts, st.ReduceRemovedInstrs)
+	}
+	if msrc != nil && fl.corpus != "" {
+		if err := optfuzz.SaveCorpus(fl.corpus, msrc.Corpus()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tame-fuzz: corpus: %d functions written to %s\n", len(msrc.Corpus()), fl.corpus)
+	}
 	if fl.cacheDir != "" {
 		fmt.Fprintf(os.Stderr,
 			"tame-fuzz: cache-dir %s: %d snapshots loaded, %d disk hits, %d stale-rejected\n",
@@ -351,9 +469,14 @@ func runPoisonOracle(fl poisonOracleFlags) {
 	}
 }
 
-func printFinding(f optfuzz.Finding) {
-	fmt.Printf("REFUTED shard=%d index=%d changed-by=%s\n%s\n→\n%s\n%s\n\n",
-		f.Shard, f.Index, strings.Join(f.ChangedBy, ","), f.Src, f.Tgt, f.Result)
+func printFinding(f optfuzz.Finding, source string, seed int64) {
+	reduced := ""
+	if f.ReduceSteps > 0 {
+		reduced = fmt.Sprintf(" reduce-steps=%d", f.ReduceSteps)
+	}
+	fmt.Printf("REFUTED source=%s seed=%d epoch=%d shard=%d index=%d changed-by=%s%s\n%s\n→\n%s\n%s\n\n",
+		source, seed, f.Epoch, f.Shard, f.Index,
+		strings.Join(f.ChangedBy, ","), reduced, f.Src, f.Tgt, f.Result)
 }
 
 func fatal(err error) {

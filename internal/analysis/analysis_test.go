@@ -132,6 +132,9 @@ func TestInstrDominates(t *testing.T) {
 	if !dt.InstrDominates(f.Params[0], inc) {
 		t.Error("parameters dominate everything")
 	}
+	if dt.InstrDominates(inc, inc) {
+		t.Error("an instruction must not dominate its own use site (self-use is invalid SSA)")
+	}
 }
 
 func TestFindLoops(t *testing.T) {

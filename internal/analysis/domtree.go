@@ -114,6 +114,12 @@ func (dt *DomTree) InstrDominates(v ir.Value, user *ir.Instr) bool {
 	if !ok {
 		return true
 	}
+	if def == user {
+		// An instruction never dominates its own use sites: a non-phi
+		// self-operand is invalid SSA, and phi self-references are
+		// checked against the incoming edge's terminator instead.
+		return false
+	}
 	db, ub := def.Parent(), user.Parent()
 	if db == nil || ub == nil {
 		return false

@@ -50,6 +50,19 @@ type PipelineResult struct {
 	// pipelines that do not include it).
 	FreezeElimRemoved uint64
 
+	// Workload / Epochs / CorpusSize / CoverageKeys / ReduceSteps /
+	// ReducedFindings describe the E13 pluggable-workload rows: which
+	// candidate source fed the campaign, how many generations an
+	// evolving source ran, its end-of-run corpus state, and the
+	// automatic reducer's work on the row's findings. All zero for the
+	// E11 exhaustive rows.
+	Workload        string
+	Epochs          int
+	CorpusSize      int
+	CoverageKeys    int
+	ReduceSteps     uint64
+	ReducedFindings uint64
+
 	// DiskLoads / DiskHits / DiskStaleRejects describe the persistent
 	// cache directory's contribution for the warm-start ablation rows
 	// (zero for rows run without a cache directory). DiskHits counts

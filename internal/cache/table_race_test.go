@@ -1,0 +1,72 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTableGetOrComputeEvictionPressure hammers a 2-slot table from
+// many goroutines so every insert races an eviction, then checks the
+// accounting invariants the telemetry layer publishes:
+//
+//   - hits + misses == lookups issued
+//   - evictions can never exceed admissions (each eviction frees a
+//     slot some admission filled)
+//   - residency never exceeds capacity
+//
+// Run under -race this also exercises the shard-lock/clock-lock
+// ordering on the hot path (see the race targets in the Makefile).
+func TestTableGetOrComputeEvictionPressure(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 2000
+		keys    = 16 // 16 keys through 2 slots: nearly every insert evicts
+	)
+	tb := NewTable[int, int](2, 4, func(k int) uint32 { return uint32(k) })
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Skewed traffic: a hot key that should stay resident
+				// (hits) plus a cold tail that churns the 2 slots
+				// (evictions).
+				k := 0
+				if i%3 == 0 {
+					k = 1 + (i*7+w*13)%(keys-1)
+				}
+				v, _ := tb.GetOrCompute(k, func() int { return k * 10 }, nil)
+				if v != k*10 {
+					t.Errorf("key %d returned %d, want %d", k, v, k*10)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := tb.Stats()
+	lookups := uint64(workers * rounds)
+	if st.Hits+st.Misses != lookups {
+		t.Fatalf("hits(%d) + misses(%d) = %d, want lookups %d",
+			st.Hits, st.Misses, st.Hits+st.Misses, lookups)
+	}
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("degenerate run: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	// Every miss admits one entry; each eviction frees a slot one of
+	// those admissions filled, and at most capacity admissions can be
+	// resident un-evicted.
+	if st.Evictions > st.Misses {
+		t.Fatalf("evictions(%d) exceed admissions(%d)", st.Evictions, st.Misses)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("16 keys through 2 slots never evicted — pressure test is not pressuring")
+	}
+	if st.Size > st.Capacity {
+		t.Fatalf("size %d over capacity %d", st.Size, st.Capacity)
+	}
+}

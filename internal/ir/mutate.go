@@ -1,0 +1,91 @@
+package ir
+
+// CFG surgery helpers shared by the mutation fuzzer and the finding
+// reducer (internal/optfuzz). Each helper leaves the function
+// structurally valid — phi arities tracking predecessor lists, no
+// dangling operand uses — so callers can re-verify cheaply rather than
+// repair.
+
+// DropSuccessor rewrites b's conditional branch into an unconditional
+// branch to successor keep (0 = true arm, 1 = false arm). The dropped
+// edge's phi incomings are removed from the other successor unless the
+// branch targeted the same block on both arms (then no edge count
+// changes). Reports whether a rewrite happened; a block without a
+// conditional terminator is left alone.
+func DropSuccessor(b *Block, keep int) bool {
+	term := b.Terminator()
+	if term == nil || !term.IsConditionalBr() || keep < 0 || keep > 1 {
+		return false
+	}
+	kept := term.BlockArg(keep)
+	dropped := term.BlockArg(1 - keep)
+	br := NewInstr(OpBr, Void)
+	br.AddBlockArg(kept)
+	b.InsertBefore(br, term)
+	b.Erase(term)
+	if dropped != kept {
+		for _, phi := range dropped.Phis() {
+			phi.RemovePhiIncoming(b)
+		}
+	}
+	return true
+}
+
+// DeleteInstr removes in from its block, replacing any uses with repl
+// first. repl may be nil only when in has no uses; when set, it must
+// have in's type. Terminators cannot be deleted this way.
+func DeleteInstr(in *Instr, repl Value) {
+	if in.Op.IsTerminator() {
+		panic("ir.DeleteInstr: cannot delete a terminator")
+	}
+	if in.NumUses() > 0 {
+		if repl == nil {
+			panic("ir.DeleteInstr: instruction has uses and no replacement")
+		}
+		in.ReplaceAllUsesWith(repl)
+	}
+	in.Parent().Erase(in)
+}
+
+// RemoveUnreachableBlocks deletes every block not reachable from the
+// entry block, fixing phi incomings in the survivors, and returns how
+// many blocks were removed. Operand uses between removed blocks are
+// dropped wholesale; a reachable block can never reference a value
+// defined in an unreachable one in valid SSA, so survivors are
+// unaffected.
+func RemoveUnreachableBlocks(f *Func) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	reachable := map[*Block]bool{}
+	stack := []*Block{f.Entry()}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reachable[b] {
+			continue
+		}
+		reachable[b] = true
+		stack = append(stack, b.Succs()...)
+	}
+	var dead []*Block
+	for _, b := range f.Blocks {
+		if !reachable[b] {
+			dead = append(dead, b)
+		}
+	}
+	for _, b := range dead {
+		for _, s := range b.Succs() {
+			if !reachable[s] {
+				continue
+			}
+			for _, phi := range s.Phis() {
+				phi.RemovePhiIncoming(b)
+			}
+		}
+	}
+	for _, b := range dead {
+		f.RemoveBlock(b)
+	}
+	return len(dead)
+}

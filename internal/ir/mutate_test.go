@@ -1,0 +1,145 @@
+package ir
+
+import "testing"
+
+// diamond builds:
+//
+//	entry: c = icmp eq p0, 0; br c, t, e
+//	t:     br j
+//	e:     br j
+//	j:     ph = phi [p0, t], [p1, e]; ret ph
+func diamond() (*Func, *Block, *Block, *Block, *Block) {
+	p0 := NewParam("p0", I32)
+	p1 := NewParam("p1", I32)
+	f := NewFunc("d", I32, p0, p1)
+	entry := f.NewBlock("entry")
+	tb := f.NewBlock("t")
+	eb := f.NewBlock("e")
+	jb := f.NewBlock("j")
+
+	cmp := NewInstr(OpICmp, I1, p0, ConstInt(I32, 0))
+	cmp.Pred = PredEQ
+	cmp.Nam = "c"
+	entry.Append(cmp)
+	br := NewInstr(OpBr, Void, cmp)
+	br.AddBlockArg(tb)
+	br.AddBlockArg(eb)
+	entry.Append(br)
+
+	for _, b := range []*Block{tb, eb} {
+		ab := NewInstr(OpBr, Void)
+		ab.AddBlockArg(jb)
+		b.Append(ab)
+	}
+	ph := NewInstr(OpPhi, I32)
+	ph.Nam = "ph"
+	ph.AddPhiIncoming(p0, tb)
+	ph.AddPhiIncoming(p1, eb)
+	jb.Append(ph)
+	jb.Append(NewInstr(OpRet, Void, ph))
+	return f, entry, tb, eb, jb
+}
+
+func TestDropSuccessorFixesPhis(t *testing.T) {
+	f, entry, tb, _, jb := diamond()
+	if !DropSuccessor(entry, 0) { // keep the true arm t, drop e
+		t.Fatal("DropSuccessor refused a conditional branch")
+	}
+	term := entry.Terminator()
+	if term == nil || term.IsConditionalBr() || term.BlockArg(0) != tb {
+		t.Fatalf("entry terminator not rewritten to br t: %v", term)
+	}
+	if removed := RemoveUnreachableBlocks(f); removed != 1 {
+		t.Fatalf("removed %d blocks, want 1 (the dropped arm)", removed)
+	}
+	ph := jb.Phis()[0]
+	if ph.NumArgs() != 1 {
+		t.Fatalf("phi kept %d incomings, want 1 after the arm vanished", ph.NumArgs())
+	}
+	if err := Verify(f, VerifyFreeze); err != nil {
+		t.Fatalf("function invalid after surgery: %v", err)
+	}
+}
+
+func TestDropSuccessorSameTargetBothArms(t *testing.T) {
+	f, entry, tb, eb, jb := diamond()
+	// Rewrite the diamond into a degenerate condbr with both arms = t
+	// first (phi loses the e incoming).
+	term := entry.Terminator()
+	term.SetBlockArg(1, tb)
+	for _, ph := range jb.Phis() {
+		ph.RemovePhiIncoming(eb)
+	}
+	if !DropSuccessor(entry, 1) {
+		t.Fatal("DropSuccessor refused the degenerate branch")
+	}
+	// Both arms were t: the kept edge's phi incoming must survive.
+	if got := jb.Phis()[0].NumArgs(); got != 1 {
+		t.Fatalf("phi has %d incomings, want 1", got)
+	}
+	RemoveUnreachableBlocks(f)
+	if err := Verify(f, VerifyFreeze); err != nil {
+		t.Fatalf("invalid after degenerate drop: %v", err)
+	}
+}
+
+func TestDeleteInstrReplacesUses(t *testing.T) {
+	p0 := NewParam("p0", I32)
+	f := NewFunc("g", I32, p0)
+	b := f.NewBlock("entry")
+	a := NewInstr(OpAdd, I32, p0, ConstInt(I32, 1))
+	a.Nam = "a"
+	b.Append(a)
+	x := NewInstr(OpXor, I32, a, a)
+	x.Nam = "x"
+	b.Append(x)
+	b.Append(NewInstr(OpRet, Void, x))
+
+	DeleteInstr(a, p0)
+	if x.Arg(0) != Value(p0) || x.Arg(1) != Value(p0) {
+		t.Fatalf("uses not rewritten to p0: %v, %v", x.Arg(0), x.Arg(1))
+	}
+	if f.NumInstrs() != 2 {
+		t.Fatalf("NumInstrs = %d, want 2", f.NumInstrs())
+	}
+	if err := Verify(f, VerifyFreeze); err != nil {
+		t.Fatalf("invalid after delete: %v", err)
+	}
+}
+
+func TestDeleteInstrPanicsOnTerminator(t *testing.T) {
+	f, entry, _, _, _ := diamond()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deleting a terminator did not panic")
+		}
+	}()
+	DeleteInstr(entry.Terminator(), nil)
+	_ = f
+}
+
+func TestRemoveUnreachableBlocksCascade(t *testing.T) {
+	// entry -> ret; a -> b -> a form an unreachable cycle.
+	p0 := NewParam("p0", I32)
+	f := NewFunc("h", I32, p0)
+	entry := f.NewBlock("entry")
+	entry.Append(NewInstr(OpRet, Void, p0))
+	a := f.NewBlock("a")
+	b := f.NewBlock("b")
+	ab := NewInstr(OpBr, Void)
+	ab.AddBlockArg(b)
+	a.Append(ab)
+	ba := NewInstr(OpBr, Void)
+	ba.AddBlockArg(a)
+	b.Append(ba)
+
+	if removed := RemoveUnreachableBlocks(f); removed != 2 {
+		t.Fatalf("removed %d, want the whole unreachable cycle (2)", removed)
+	}
+	if len(f.Blocks) != 1 {
+		t.Fatalf("%d blocks remain, want 1", len(f.Blocks))
+	}
+	if err := Verify(f, VerifyFreeze); err != nil {
+		t.Fatalf("invalid after sweep: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package optfuzz
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,19 +16,27 @@ import (
 )
 
 // Campaign is one fuzz-and-validate run, the paper's §6 experiment as
-// a pipeline: exhaustively enumerate the generator space, transform
-// every candidate, and decide refinement of each transformation.
+// a pipeline: enumerate a workload's candidate stream, transform every
+// candidate, and decide refinement of each transformation.
 //
-// The enumeration space is split into NumShards(Gen) disjoint shards
-// (one per first-instruction template); a bounded worker pool runs the
-// shards concurrently, each worker with its own generator state,
-// enumeration oracle, compiled-program cache, and memo session, and
-// results are merged in shard order. The behaviour-set memo itself is
-// ONE concurrency-safe cache shared by all shards, so a candidate that
-// collapses to a form some other shard already explored is a lookup,
-// not a re-enumeration — cross-shard hits are a large fraction of the
-// total on §6-style spaces, where most shards funnel into the same few
-// small forms.
+// The workload is a Source: a deterministic, shardable candidate
+// stream. The default (nil Source) is the exhaustive §6 enumerator
+// over Gen; the mutation fuzzer (NewMutationSource) and the sampled
+// wide-bitwidth sweep (NewWideSource) plug into the same engine. A
+// bounded worker pool runs the source's shards concurrently, each
+// worker with its own enumeration oracle, compiled-program cache, and
+// memo session, and results are merged in shard order. The
+// behaviour-set memo itself is ONE concurrency-safe cache shared by
+// all shards, so a candidate that collapses to a form some other shard
+// already explored is a lookup, not a re-enumeration — cross-shard
+// hits are a large fraction of the total on §6-style spaces, where
+// most shards funnel into the same few small forms.
+//
+// Evolving sources run in epochs: every shard of epoch e completes,
+// the per-candidate feedback merges in (shard, index) order — a
+// deterministic barrier — and the source advances before epoch e+1
+// enumerates. Coverage-guided mutation therefore sees exactly the same
+// feedback stream for every worker count.
 //
 // A campaign's findings and verdict counters remain byte-identical for
 // every worker count, including Workers=1 (which runs inline with no
@@ -37,11 +46,17 @@ import (
 // scheduling when Workers > 1, since which shard computes a shared set
 // first is a race.
 type Campaign struct {
-	// Gen bounds the generator. Gen.MaxFuncs is a campaign-wide budget
-	// split deterministically across shards (by shard index, not by
-	// worker), so the checked candidate set does not depend on the
-	// worker count.
+	// Gen bounds the default exhaustive generator (used when Source is
+	// nil). Gen.MaxFuncs is a campaign-wide budget split
+	// deterministically across shards (by shard index, not by worker),
+	// so the checked candidate set does not depend on the worker
+	// count.
 	Gen Config
+
+	// Source selects the workload. Nil wraps Gen in an
+	// ExhaustiveSource — the legacy §6 configuration, byte-identical
+	// to the pre-interface engine. When Source is set, Gen is ignored.
+	Source Source
 
 	// Refine configures the checker. Its Memo, Session, Oracle and
 	// Programs fields are ignored: the campaign supplies one shared
@@ -95,24 +110,48 @@ type Campaign struct {
 	// Falls back to Refine.CacheDir when empty.
 	CacheDir string
 
+	// Reduce pushes every refuted finding through the automatic
+	// reducer before it is recorded or streamed: greedy instruction /
+	// branch / operand shrinking, re-checking the refinement verdict
+	// at every step, so the published counterexample is minimal while
+	// still refuted by the same transform. The reduced finding is a
+	// pure function of the candidate and the campaign configuration,
+	// so reduction preserves the byte-identical-across-workers
+	// guarantee.
+	Reduce bool
+
+	// ReduceMaxSteps bounds the reducer's accepted shrink steps per
+	// finding (0 means DefaultReduceMaxSteps).
+	ReduceMaxSteps int
+
+	// TracePhases enables fine-grained span telemetry: one span per
+	// shard enumeration (span="campaign/s<shard>") plus the per-phase
+	// spans inside every refine.Check (compile and per-input behaviour
+	// sweeps). Off by default: the spans are cheap but still cost
+	// clock reads on the hot path, so benchmark rows (E11/E12) run
+	// without them. Requires Telemetry.
+	TracePhases bool
+
 	// Telemetry, when non-nil, receives the campaign's merged metric
-	// counters after the run: campaign_* verdicts, per-shard checker and
-	// engine counters (check_*, engine_*, pool_frames_*), per-shard
-	// program-cache traffic (progcache_*), shared-memo counters
-	// (memo_*), worker-pool utilization (pool_*), and — for instrumented
-	// Pipeline campaigns — the merged pass-manager registry (pass_*,
-	// opt_*, analysis_*). Shard-local collectors merge in shard order;
-	// the registry's deterministic section is byte-identical for every
-	// worker count.
+	// counters after the run: campaign_* verdicts, workload_* labelled
+	// twins, per-shard checker and engine counters (check_*, engine_*,
+	// pool_frames_*), per-shard program-cache traffic (progcache_*),
+	// shared-memo counters (memo_*), worker-pool utilization (pool_*),
+	// corpus/reducer counters for evolving or reducing campaigns, and
+	// — for instrumented Pipeline campaigns — the merged pass-manager
+	// registry (pass_*, opt_*, analysis_*). Shard-local collectors
+	// merge in shard order; the registry's deterministic section is
+	// byte-identical for every worker count.
 	Telemetry *telemetry.Registry
 
 	// Stream, when non-nil, receives every Finding in deterministic
-	// (shard, index, pass) order while the campaign runs, and is closed
-	// by Run before it returns. Streamed findings are NOT retained in
-	// Stats.Findings, so a campaign with a draining consumer holds at
-	// most the out-of-turn shards' findings in memory — this is the
-	// report-early-and-bound-memory path for huge campaigns. A slow
-	// consumer applies backpressure to the whole pipeline.
+	// (epoch, shard, index, pass) order while the campaign runs, and
+	// is closed by Run before it returns. Streamed findings are NOT
+	// retained in Stats.Findings, so a campaign with a draining
+	// consumer holds at most the out-of-turn shards' findings in
+	// memory — this is the report-early-and-bound-memory path for huge
+	// campaigns. A slow consumer applies backpressure to the whole
+	// pipeline.
 	Stream chan<- Finding
 
 	// Progress, when non-nil, is invoked from campaign goroutines —
@@ -126,7 +165,8 @@ type Campaign struct {
 }
 
 // CampaignProgress is a running snapshot handed to Progress callbacks.
-// Counters are totals since the campaign started.
+// Counters are totals since the campaign started; Shards counts shard
+// enumerations across all epochs.
 type CampaignProgress struct {
 	Shards     int
 	ShardsDone int
@@ -145,8 +185,11 @@ type NamedTransform struct {
 
 // Finding is one refuted transformation.
 type Finding struct {
+	// Epoch is the source epoch that produced the candidate (always 0
+	// for single-epoch workloads like the exhaustive enumerator).
+	Epoch int
 	// Shard and Index locate the candidate deterministically: Index is
-	// its position within the shard's enumeration order.
+	// its position within the shard's enumeration order for its epoch.
 	Shard, Index int
 	// Pass names the refuted transform (empty for a bare Transform).
 	Pass string
@@ -155,8 +198,14 @@ type Finding struct {
 	// Pipeline campaigns). The last CFG- or value-rewriting pass in the
 	// list is the prime miscompilation suspect.
 	ChangedBy []string
-	// Src and Tgt are the printed functions.
+	// Src and Tgt are the printed functions. Under Campaign.Reduce
+	// they are the reducer's minimized pair.
 	Src, Tgt string
+	// OrigSrc is the unreduced candidate when the reducer shrank this
+	// finding (empty when reduction is off or made no progress).
+	OrigSrc string
+	// ReduceSteps is how many accepted shrink steps produced Src.
+	ReduceSteps int
 	// Result carries the counterexample.
 	Result refine.Result
 }
@@ -180,12 +229,32 @@ type Stats struct {
 	Inconclusive int
 	Truncated    bool
 
+	// Source names the workload that ran; Epochs is how many source
+	// epochs it took (1 for non-evolving workloads).
+	Source string
+	Epochs int
+
+	// CorpusSize / CoverageKeys are an evolving source's end-of-run
+	// corpus statistics (zero for non-evolving workloads).
+	CorpusSize   int
+	CoverageKeys int
+
+	// ReduceSteps / ReduceAttempts / ReduceRemovedInstrs /
+	// ReducedFindings aggregate the automatic reducer: accepted shrink
+	// steps, candidate edits re-checked, instructions removed, and
+	// findings that passed through it (all zero unless
+	// Campaign.Reduce).
+	ReduceSteps         uint64
+	ReduceAttempts      uint64
+	ReduceRemovedInstrs uint64
+	ReducedFindings     uint64
+
 	// Passes tallies per transform, in Transforms order (absent for a
 	// bare Transform campaign).
 	Passes []PassTally
 
 	// Findings lists every refuted candidate in deterministic
-	// (shard, index, pass) order.
+	// (epoch, shard, index, pass) order.
 	Findings []Finding
 
 	// MemoHits / MemoLookups / MemoEvictions are the shared memo's
@@ -223,7 +292,7 @@ func (s Stats) HitRate() float64 {
 	return float64(s.MemoHits) / float64(s.MemoLookups)
 }
 
-// shardBudgets splits a campaign-wide MaxFuncs over shards:
+// shardBudgets splits a campaign-wide budget over shards:
 // shard i receives total/shards plus one of the remainder's units.
 // When caps (per-shard enumeration capacities) is non-nil, a second
 // fill pass reclaims the budget that small shards cannot absorb and
@@ -288,11 +357,13 @@ func shardBudgets(total, shards int, caps []int) []int {
 }
 
 // findingStreamer reassembles concurrently produced findings into
-// deterministic (shard, index, pass) order. The shard currently at the
-// head of the order streams its findings straight through; later
-// shards buffer until every earlier shard has finished, at which point
-// their backlog flushes and they go live. With one worker nothing ever
-// buffers.
+// deterministic (shard, index, pass) order within one epoch. The shard
+// currently at the head of the order streams its findings straight
+// through; later shards buffer until every earlier shard has finished,
+// at which point their backlog flushes and they go live. With one
+// worker nothing ever buffers. Epochs run sequentially, so one
+// streamer per epoch over the same channel yields the global
+// (epoch, shard, index, pass) order.
 type findingStreamer struct {
 	mu      sync.Mutex
 	ch      chan<- Finding
@@ -411,15 +482,55 @@ func (p *progressSink) tick(force bool) {
 	p.mu.Unlock()
 }
 
+// mergeChanged folds more into acc, deduplicating while preserving
+// first-fire order — the same discipline the pass manager uses for a
+// single run, applied across a candidate's transforms.
+func mergeChanged(acc, more []string) []string {
+	for _, m := range more {
+		dup := false
+		for _, a := range acc {
+			if a == m {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			acc = append(acc, m)
+		}
+	}
+	return acc
+}
+
+// shardStats is one shard's slice of one epoch.
+type shardStats struct {
+	Stats
+	Check refine.CheckMetrics
+	Prog  core.ProgramCacheStats
+	fb    []Feedback
+}
+
 // Run executes the campaign and returns the merged, deterministic
 // result.
 func (c Campaign) Run() Stats {
-	shards := NumShards(c.Gen)
-	var caps []int
-	if c.Gen.MaxFuncs > 0 {
-		caps = ShardCapacities(c.Gen, c.Gen.MaxFuncs)
+	src := c.Source
+	if src == nil {
+		src = NewExhaustiveSource(c.Gen)
 	}
-	budgets := shardBudgets(c.Gen.MaxFuncs, shards, caps)
+	shards := src.Shards()
+	budget := src.Budget()
+	var caps []int
+	if budget > 0 {
+		caps = src.Capacities(budget)
+	}
+	budgets := shardBudgets(budget, shards, caps)
+
+	epochs := 1
+	evolving, _ := src.(Evolving)
+	if evolving != nil {
+		if e := evolving.Epochs(); e > 1 {
+			epochs = e
+		}
+	}
 
 	var memo *refine.Memo
 	if c.MemoEntries >= 0 {
@@ -438,147 +549,26 @@ func (c Campaign) Run() Stats {
 		diskErr = err
 	}
 
-	streamer := newFindingStreamer(c.Stream, shards)
-	progress := newProgressSink(c.Progress, c.ProgressEvery, shards)
+	progress := newProgressSink(c.Progress, c.ProgressEvery, shards*epochs)
 	var poolPM *parallel.PoolMetrics
 	var runSpan *telemetry.Span
+	var shardScope, checkScope *telemetry.Scope
 	if c.Telemetry != nil {
 		poolPM = &parallel.PoolMetrics{}
-		runSpan = telemetry.NewScope(c.Telemetry, "campaign").Start("run")
+		scope := telemetry.NewScope(c.Telemetry, "campaign")
+		runSpan = scope.Start("run")
+		if c.TracePhases {
+			shardScope = scope
+			checkScope = telemetry.NewScope(c.Telemetry, "check")
+		}
 	}
 
-	type shardStats struct {
-		Stats
-		Check refine.CheckMetrics
-		Prog  core.ProgramCacheStats
+	// The reducer re-verifies every shrunken candidate against the
+	// dialect the campaign checks under.
+	verifyMode := ir.VerifyFreeze
+	if c.Refine.SrcOpts.Mode == core.Legacy {
+		verifyMode = ir.VerifyLegacy
 	}
-	results := parallel.MapTimed(c.Workers, shards, func(s int) shardStats {
-		defer func() {
-			streamer.finish(s)
-			if progress != nil {
-				progress.shardsDone.Add(1)
-				progress.tick(false)
-			}
-		}()
-		gen := c.Gen
-		gen.MaxFuncs = budgets[s]
-		if c.Gen.MaxFuncs > 0 && budgets[s] == 0 {
-			return shardStats{} // budget exhausted before this shard
-		}
-		rcfg := c.Refine
-		rcfg.Oracle = core.NewEnumOracle(rcfg.MaxChoices, rcfg.MaxFanout)
-		rcfg.Memo = memo
-		rcfg.Session = nil
-		if memo != nil {
-			rcfg.Session = memo.NewSession()
-		}
-		// Candidates and their transformed clones are built fresh and
-		// never mutated after compilation, so the pointer-trusting
-		// program cache is sound here; it pays off when one candidate is
-		// checked against several passes.
-		rcfg.Programs = core.NewProgramCache(0)
-
-		// Each shard transform returns the pass names that changed the
-		// candidate (pipeline campaigns only; nil otherwise).
-		type shardTransform struct {
-			name string
-			fn   func(*ir.Func) []string
-		}
-		var transforms []shardTransform
-		var pm *passes.PassManager
-		switch {
-		case len(c.Transforms) > 0:
-			for _, tr := range c.Transforms {
-				fn := tr.Fn
-				transforms = append(transforms, shardTransform{name: tr.Name, fn: func(f *ir.Func) []string {
-					if fn != nil {
-						fn(f)
-					}
-					return nil
-				}})
-			}
-		case c.Pipeline != nil:
-			pm = c.Pipeline.Clone() // private per-shard stats, shared pass list
-			transforms = []shardTransform{{fn: func(f *ir.Func) []string {
-				_, fired := pm.RunFuncChanged(f, c.PipelineCfg)
-				return fired
-			}}}
-		default:
-			transforms = []shardTransform{{fn: func(f *ir.Func) []string {
-				if c.Transform != nil {
-					c.Transform(f)
-				}
-				return nil
-			}}}
-		}
-
-		var st shardStats
-		rcfg.Metrics = &st.Check
-		var scratch PassTally // tally sink for single-transform campaigns
-		if len(c.Transforms) > 0 {
-			st.Passes = make([]PassTally, len(transforms))
-			for i, tr := range transforms {
-				st.Passes[i].Pass = tr.name
-			}
-		}
-		idx := 0
-		_, truncated := ExhaustiveShard(gen, s, func(f *ir.Func) bool {
-			st.Funcs++
-			for ti, tr := range transforms {
-				work := ir.CloneFunc(f)
-				changedBy := tr.fn(work)
-				r := refine.Check(f, work, rcfg)
-				tally := &scratch
-				if st.Passes != nil {
-					tally = &st.Passes[ti]
-				}
-				tally.Funcs++
-				switch r.Status {
-				case refine.Verified:
-					st.Verified++
-					tally.Verified++
-					if progress != nil {
-						progress.verified.Add(1)
-					}
-				case refine.Refuted:
-					st.Refuted++
-					tally.Refuted++
-					if progress != nil {
-						progress.refuted.Add(1)
-					}
-					fd := Finding{
-						Shard: s, Index: idx, Pass: tr.name,
-						ChangedBy: changedBy,
-						Src:       f.String(), Tgt: work.String(),
-						Result: r,
-					}
-					if streamer != nil {
-						streamer.emit(s, fd)
-					} else {
-						st.Findings = append(st.Findings, fd)
-					}
-				default:
-					st.Inconclusive++
-					tally.Inconclusive++
-					if progress != nil {
-						progress.inconclusive.Add(1)
-					}
-				}
-			}
-			idx++
-			if progress != nil {
-				progress.funcs.Add(1)
-				progress.tick(false)
-			}
-			return true
-		})
-		st.Truncated = truncated
-		if pm != nil {
-			st.Opt = pm.Stats
-		}
-		st.Prog = rcfg.Programs.Stats()
-		return st
-	}, poolPM)
 
 	var out Stats
 	if len(c.Transforms) > 0 {
@@ -589,27 +579,51 @@ func (c Campaign) Run() Stats {
 	}
 	var check refine.CheckMetrics
 	var prog core.ProgramCacheStats
-	for _, r := range results {
-		out.Funcs += r.Funcs
-		out.Verified += r.Verified
-		out.Refuted += r.Refuted
-		out.Inconclusive += r.Inconclusive
-		out.Truncated = out.Truncated || r.Truncated
-		out.Findings = append(out.Findings, r.Findings...)
-		for i, p := range r.Passes {
-			out.Passes[i].Funcs += p.Funcs
-			out.Passes[i].Verified += p.Verified
-			out.Passes[i].Refuted += p.Refuted
-			out.Passes[i].Inconclusive += p.Inconclusive
-		}
-		if r.Opt != nil {
-			if out.Opt == nil {
-				out.Opt = passes.NewStats()
+	var streamer *findingStreamer
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		epoch := epoch
+		streamer = newFindingStreamer(c.Stream, shards)
+		results := parallel.MapTimed(c.Workers, shards, func(s int) shardStats {
+			return c.runShard(src, evolving, epoch, s, budget, budgets[s],
+				memo, verifyMode, streamer, progress, shardScope, checkScope)
+		}, poolPM)
+
+		for _, r := range results {
+			out.Funcs += r.Funcs
+			out.Verified += r.Verified
+			out.Refuted += r.Refuted
+			out.Inconclusive += r.Inconclusive
+			out.Truncated = out.Truncated || r.Truncated
+			out.Findings = append(out.Findings, r.Findings...)
+			out.ReduceSteps += r.ReduceSteps
+			out.ReduceAttempts += r.ReduceAttempts
+			out.ReduceRemovedInstrs += r.ReduceRemovedInstrs
+			out.ReducedFindings += r.ReducedFindings
+			for i, p := range r.Passes {
+				out.Passes[i].Funcs += p.Funcs
+				out.Passes[i].Verified += p.Verified
+				out.Passes[i].Refuted += p.Refuted
+				out.Passes[i].Inconclusive += p.Inconclusive
 			}
-			out.Opt.Merge(r.Opt)
+			if r.Opt != nil {
+				if out.Opt == nil {
+					out.Opt = passes.NewStats()
+				}
+				out.Opt.Merge(r.Opt)
+			}
+			check.Add(&r.Check)
+			prog.Add(r.Prog)
 		}
-		check.Add(&r.Check)
-		prog.Add(r.Prog)
+		if evolving != nil {
+			// The feedback barrier: shard order, then index order within
+			// each shard — the same total order a serial run observes.
+			var fb []Feedback
+			for _, r := range results {
+				fb = append(fb, r.fb...)
+			}
+			evolving.Advance(epoch, fb)
+		}
 	}
 	streamer.close()
 	if memo != nil {
@@ -626,25 +640,222 @@ func (c Campaign) Run() Stats {
 		out.DiskLoads, out.DiskHits, out.DiskStaleRejects = ds.Loads, ds.Hits, ds.StaleRejects
 		out.DiskErr = diskErr
 	}
+	out.Source = src.Name()
+	out.Epochs = epochs
+	corpus := false
+	if cr, ok := src.(CorpusReporter); ok {
+		cs := cr.CorpusStats()
+		out.CorpusSize, out.CoverageKeys = cs.Size, cs.Coverage
+		corpus = true
+	}
 	runSpan.End()
-	c.publish(out, shards, &check, prog, poolPM, memo != nil, disk != nil)
+	c.publish(out, shards*epochs, &check, prog, poolPM, memo != nil, disk != nil, corpus)
 	progress.tick(true)
 	return out
 }
 
+// runShard enumerates one shard of one epoch, validating every
+// candidate against the campaign's transforms. It owns all its mutable
+// state (oracle, memo session, program cache, pass-manager clone), so
+// distinct shards run concurrently without sharing.
+func (c Campaign) runShard(src Source, evolving Evolving, epoch, s, budget, max int,
+	memo *refine.Memo, verifyMode ir.VerifyMode, streamer *findingStreamer,
+	progress *progressSink, shardScope, checkScope *telemetry.Scope) shardStats {
+	defer func() {
+		streamer.finish(s)
+		if progress != nil {
+			progress.shardsDone.Add(1)
+			progress.tick(false)
+		}
+	}()
+	if budget > 0 && max == 0 {
+		return shardStats{} // budget exhausted before this shard
+	}
+	if shardScope != nil {
+		defer shardScope.Start(fmt.Sprintf("s%d", s)).End()
+	}
+	rcfg := c.Refine
+	rcfg.Oracle = core.NewEnumOracle(rcfg.MaxChoices, rcfg.MaxFanout)
+	rcfg.Memo = memo
+	rcfg.Session = nil
+	if memo != nil {
+		rcfg.Session = memo.NewSession()
+	}
+	// Candidates and their transformed clones are built fresh and
+	// never mutated after compilation, so the pointer-trusting
+	// program cache is sound here; it pays off when one candidate is
+	// checked against several passes.
+	rcfg.Programs = core.NewProgramCache(0)
+	if checkScope != nil {
+		rcfg.Trace = checkScope
+	}
+
+	// Each shard transform returns the pass names that changed the
+	// candidate (pipeline campaigns only; nil otherwise).
+	type shardTransform struct {
+		name string
+		fn   func(*ir.Func) []string
+	}
+	var transforms []shardTransform
+	var pm *passes.PassManager
+	switch {
+	case len(c.Transforms) > 0:
+		for _, tr := range c.Transforms {
+			fn := tr.Fn
+			transforms = append(transforms, shardTransform{name: tr.Name, fn: func(f *ir.Func) []string {
+				if fn != nil {
+					fn(f)
+				}
+				return nil
+			}})
+		}
+	case c.Pipeline != nil:
+		pm = c.Pipeline.Clone() // private per-shard stats, shared pass list
+		transforms = []shardTransform{{fn: func(f *ir.Func) []string {
+			_, fired := pm.RunFuncChanged(f, c.PipelineCfg)
+			return fired
+		}}}
+	default:
+		transforms = []shardTransform{{fn: func(f *ir.Func) []string {
+			if c.Transform != nil {
+				c.Transform(f)
+			}
+			return nil
+		}}}
+	}
+
+	var st shardStats
+	rcfg.Metrics = &st.Check
+
+	// For evolving sources, fold every behaviour set the checker
+	// consumes into a per-candidate coverage digest. Memo hits return
+	// exactly the set enumeration would produce, so the digest is
+	// cache- and worker-independent.
+	userHook := rcfg.BehaviorHook
+	var digest uint64
+	if evolving != nil {
+		rcfg.BehaviorHook = func(b refine.BehaviorSet) {
+			digest = behaviorDigest(digest, b)
+			if userHook != nil {
+				userHook(b)
+			}
+		}
+	}
+	// The reducer runs extra checks per finding; keep them out of the
+	// candidate's coverage digest.
+	rrcfg := rcfg
+	rrcfg.BehaviorHook = userHook
+
+	var scratch PassTally // tally sink for single-transform campaigns
+	if len(c.Transforms) > 0 {
+		st.Passes = make([]PassTally, len(transforms))
+		for i, tr := range transforms {
+			st.Passes[i].Pass = tr.name
+		}
+	}
+	idx := 0
+	_, truncated := src.Enumerate(s, max, func(f *ir.Func) bool {
+		st.Funcs++
+		digest = 0
+		var fbChanged []string
+		fbRefuted, fbInconclusive := false, false
+		for ti, tr := range transforms {
+			work := ir.CloneFunc(f)
+			changedBy := tr.fn(work)
+			r := refine.Check(f, work, rcfg)
+			tally := &scratch
+			if st.Passes != nil {
+				tally = &st.Passes[ti]
+			}
+			tally.Funcs++
+			switch r.Status {
+			case refine.Verified:
+				st.Verified++
+				tally.Verified++
+				if progress != nil {
+					progress.verified.Add(1)
+				}
+			case refine.Refuted:
+				st.Refuted++
+				tally.Refuted++
+				fbRefuted = true
+				if progress != nil {
+					progress.refuted.Add(1)
+				}
+				fd := Finding{
+					Epoch: epoch, Shard: s, Index: idx, Pass: tr.name,
+					ChangedBy: changedBy,
+					Src:       f.String(), Tgt: work.String(),
+					Result: r,
+				}
+				if c.Reduce {
+					rr := ReduceFinding(f, tr.fn, rrcfg, verifyMode, c.ReduceMaxSteps)
+					st.ReduceSteps += uint64(rr.Steps)
+					st.ReduceAttempts += uint64(rr.Attempts)
+					st.ReduceRemovedInstrs += uint64(rr.RemovedInstrs)
+					st.ReducedFindings++
+					if rr.Steps > 0 {
+						fd.OrigSrc = fd.Src
+						fd.ReduceSteps = rr.Steps
+						fd.Src, fd.Tgt = rr.Src, rr.Tgt
+						fd.ChangedBy = rr.ChangedBy
+						fd.Result = rr.Result
+					}
+				}
+				if streamer != nil {
+					streamer.emit(s, fd)
+				} else {
+					st.Findings = append(st.Findings, fd)
+				}
+			default:
+				st.Inconclusive++
+				tally.Inconclusive++
+				fbInconclusive = true
+				if progress != nil {
+					progress.inconclusive.Add(1)
+				}
+			}
+			if evolving != nil {
+				fbChanged = mergeChanged(fbChanged, changedBy)
+			}
+		}
+		if evolving != nil {
+			st.fb = append(st.fb, Feedback{
+				Shard: s, Index: idx, Src: f.String(),
+				ChangedBy: fbChanged,
+				Refuted:   fbRefuted, Inconclusive: fbInconclusive,
+				Behavior: digest,
+			})
+		}
+		idx++
+		if progress != nil {
+			progress.funcs.Add(1)
+			progress.tick(false)
+		}
+		return true
+	})
+	st.Truncated = truncated
+	if pm != nil {
+		st.Opt = pm.Stats
+	}
+	st.Prog = rcfg.Programs.Stats()
+	return st
+}
+
 // publish folds the campaign's merged collectors into c.Telemetry.
-// Verdict counters and the per-shard checker/engine/program-cache
-// counters are Deterministic (pure functions of the shard partition);
-// everything touching the shared memo is Scheduling, because which
-// worker computes a shared behaviour set first is a race whenever more
-// than one runs — and the class must not depend on the worker count.
-func (c Campaign) publish(out Stats, shards int, check *refine.CheckMetrics, prog core.ProgramCacheStats, poolPM *parallel.PoolMetrics, sharedMemo, diskCache bool) {
+// Verdict counters, the workload-labelled twins, the corpus/reducer
+// counters, and the per-shard checker/engine/program-cache counters
+// are Deterministic (pure functions of the shard partition); everything
+// touching the shared memo is Scheduling, because which worker computes
+// a shared behaviour set first is a race whenever more than one runs —
+// and the class must not depend on the worker count.
+func (c Campaign) publish(out Stats, shardRuns int, check *refine.CheckMetrics, prog core.ProgramCacheStats, poolPM *parallel.PoolMetrics, sharedMemo, diskCache, corpus bool) {
 	reg := c.Telemetry
 	if reg == nil {
 		return
 	}
 	det := telemetry.Deterministic
-	reg.Counter("campaign_shards_total", det, "enumeration shards run").Add(uint64(shards))
+	reg.Counter("campaign_shards_total", det, "shard enumerations run").Add(uint64(shardRuns))
 	reg.Counter("campaign_funcs_total", det, "candidate functions enumerated").Add(uint64(out.Funcs))
 	reg.Counter("campaign_verified_total", det, "validations proved refining").Add(uint64(out.Verified))
 	reg.Counter("campaign_refuted_total", det, "validations refuted (findings)").Add(uint64(out.Refuted))
@@ -654,6 +865,24 @@ func (c Campaign) publish(out Stats, shards int, check *refine.CheckMetrics, pro
 		trunc = 1
 	}
 	reg.Counter("campaign_truncated_total", det, "campaigns cut short by the budget").Add(trunc)
+
+	// Workload-labelled twins: the same verdict stream keyed by the
+	// Source's name, so multi-workload processes (tame-bench E13)
+	// stay separable in one snapshot.
+	wl := func(name string) string { return telemetry.L(name, "workload", out.Source) }
+	reg.Counter(wl("workload_funcs_total"), det, "candidates enumerated, by workload").Add(uint64(out.Funcs))
+	reg.Counter(wl("workload_refuted_total"), det, "refuted validations, by workload").Add(uint64(out.Refuted))
+	reg.Counter(wl("workload_epochs_total"), det, "source epochs run, by workload").Add(uint64(out.Epochs))
+	if corpus {
+		reg.Gauge("corpus_size", det, "functions resident in the mutation corpus").Set(int64(out.CorpusSize))
+		reg.Gauge("coverage_keys", det, "distinct coverage keys observed").Set(int64(out.CoverageKeys))
+	}
+	if c.Reduce {
+		reg.Counter("reduce_steps_total", det, "accepted reducer shrink steps").Add(out.ReduceSteps)
+		reg.Counter("reduce_attempts_total", det, "reducer candidate edits re-checked").Add(out.ReduceAttempts)
+		reg.Counter("reduce_removed_instrs_total", det, "instructions removed from findings by the reducer").Add(out.ReduceRemovedInstrs)
+		reg.Counter("reduce_findings_total", det, "findings passed through the reducer").Add(out.ReducedFindings)
+	}
 
 	memoClass := det
 	if sharedMemo {

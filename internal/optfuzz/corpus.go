@@ -1,0 +1,41 @@
+package optfuzz
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"tameir/internal/ir"
+)
+
+// Corpus persistence: a corpus is one parseable IR module on disk, so
+// it round-trips through the ordinary parser/printer, diffs cleanly in
+// a terminal, and can be reused as -corpus seeds by a later campaign.
+
+// SaveCorpus writes funcs to path as a single module. Functions are
+// renamed c0..cN-1 so the module has unique symbols regardless of what
+// the workload called them.
+func SaveCorpus(path string, funcs []*ir.Func) error {
+	var b strings.Builder
+	for i, f := range funcs {
+		g := ir.CloneFunc(f)
+		g.Nam = fmt.Sprintf("c%d", i)
+		b.WriteString(g.String())
+		b.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// LoadCorpus parses a module written by SaveCorpus (or by hand) into
+// seed functions.
+func LoadCorpus(path string) ([]*ir.Func, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ir.ParseModule(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("corpus %s: %w", path, err)
+	}
+	return m.Funcs, nil
+}

@@ -24,13 +24,18 @@ import (
 // miscompile precursor translation validation cannot see until a pass
 // consumes the bad fact.
 
-// PoisonOracle configures one soundness sweep. The generator config and
-// sharding mirror Campaign, so a budgeted oracle enumerates exactly the
-// candidate set the validation campaign does.
+// PoisonOracle configures one soundness sweep. The candidate stream is
+// a Source, sharded and budgeted exactly like Campaign's, so a budgeted
+// oracle enumerates exactly the candidate set the validation campaign
+// does — and any workload (exhaustive, mutation corpus, wide sample)
+// can be swept for analysis soundness.
 type PoisonOracle struct {
 	// Gen is the function-space generator config (sharded like Campaign:
 	// budgets split evenly with capacity reclaim).
 	Gen Config
+	// Source overrides the candidate stream; nil builds the exhaustive
+	// source from Gen, mirroring Campaign.
+	Source Source
 	// Sem is the execution semantics claims are checked under.
 	Sem core.Options
 	// Workers bounds the shard worker pool (0 = serial).
@@ -76,12 +81,17 @@ type PoisonOracleStats struct {
 // the function order, every shard owns its oracle and environments, and
 // per-shard tallies merge in shard order.
 func (po PoisonOracle) Run() PoisonOracleStats {
-	shards := NumShards(po.Gen)
-	var caps []int
-	if po.Gen.MaxFuncs > 0 {
-		caps = ShardCapacities(po.Gen, po.Gen.MaxFuncs)
+	src := po.Source
+	if src == nil {
+		src = NewExhaustiveSource(po.Gen)
 	}
-	budgets := shardBudgets(po.Gen.MaxFuncs, shards, caps)
+	shards := src.Shards()
+	budget := src.Budget()
+	var caps []int
+	if budget > 0 {
+		caps = src.Capacities(budget)
+	}
+	budgets := shardBudgets(budget, shards, caps)
 
 	maxChoices, maxFanout, maxExecs := po.MaxChoices, po.MaxFanout, po.MaxExecs
 	if maxChoices == 0 {
@@ -95,13 +105,11 @@ func (po PoisonOracle) Run() PoisonOracleStats {
 	}
 
 	results := parallel.MapTimed(po.Workers, shards, func(s int) PoisonOracleStats {
-		gen := po.Gen
-		gen.MaxFuncs = budgets[s]
-		if po.Gen.MaxFuncs > 0 && budgets[s] == 0 {
+		if budget > 0 && budgets[s] == 0 {
 			return PoisonOracleStats{}
 		}
 		var st PoisonOracleStats
-		ExhaustiveShard(gen, s, func(f *ir.Func) bool {
+		src.Enumerate(s, budgets[s], func(f *ir.Func) bool {
 			st.Funcs++
 			po.checkFunc(f, s, maxChoices, maxFanout, maxExecs, &st)
 			return true

@@ -83,6 +83,24 @@ func TestPoisonOracleDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestPoisonOracleExplicitSourceMatchesNil: the oracle's nil-Source
+// default must be the exhaustive adapter, so an explicit
+// ExhaustiveSource sweeps the identical candidate set.
+func TestPoisonOracleExplicitSourceMatchesNil(t *testing.T) {
+	gen := DefaultConfig(1)
+	gen.AllowUndef = false
+	gen.AllowPoison = true
+	gen.MaxFuncs = 200
+
+	sem := core.FreezeOptions()
+	implicit := PoisonOracle{Gen: gen, Sem: sem, Workers: 2}.Run()
+	explicit := PoisonOracle{Gen: gen, Source: NewExhaustiveSource(gen), Sem: sem, Workers: 2}.Run()
+	if implicit.Funcs != explicit.Funcs || implicit.Claims != explicit.Claims ||
+		implicit.Execs != explicit.Execs || len(implicit.Violations) != len(explicit.Violations) {
+		t.Fatalf("explicit source changed the sweep: implicit %+v, explicit %+v", implicit, explicit)
+	}
+}
+
 // TestFreezeElimCampaignTranslationValidation is acceptance criterion
 // (3): every freeze-elim rewrite over an exhaustive freeze-heavy
 // campaign slice must itself validate as a refinement via refine.Check

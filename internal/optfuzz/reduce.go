@@ -1,0 +1,255 @@
+package optfuzz
+
+import (
+	"tameir/internal/analysis"
+	"tameir/internal/ir"
+	"tameir/internal/refine"
+)
+
+// The automatic finding reducer: greedy, deterministic, verdict-
+// preserving shrinking of refuted candidates. A campaign finding is
+// whatever function the workload happened to stumble on — often
+// carrying instructions, branches and operands that play no part in
+// the miscompilation. The reducer deletes them one edit at a time,
+// re-checking the refinement verdict after every edit and keeping only
+// edits that (a) leave the function verifier-valid and (b) keep the
+// transform refuted. The result is the locally minimal counterexample
+// a human wants to read.
+
+// DefaultReduceMaxSteps bounds accepted shrink steps per finding.
+const DefaultReduceMaxSteps = 64
+
+// ReduceResult is the reducer's outcome for one finding.
+type ReduceResult struct {
+	// Src / Tgt / ChangedBy / Result describe the reduced finding: the
+	// minimized source, what the transform produced on it, which passes
+	// fired, and the (still Refuted) verdict. All empty/zero when Steps
+	// is 0 — the caller then keeps the original finding untouched.
+	Src       string
+	Tgt       string
+	ChangedBy []string
+	Result    refine.Result
+
+	// Steps counts accepted shrink edits; Attempts counts candidate
+	// edits that were re-checked (accepted or not); RemovedInstrs is
+	// the net instruction-count reduction.
+	Steps         int
+	Attempts      int
+	RemovedInstrs int
+}
+
+// reduceEdit is one candidate shrink, addressed by coordinates into
+// the current function's (block, instruction) grid so it can be
+// replayed on a fresh clone.
+type reduceEdit struct {
+	kind  int // editDelete | editDropSucc | editZeroOp
+	block int // block index in f.Blocks
+	instr int // instruction index in block.Instrs() (editDelete/editZeroOp)
+	arg   int // editDelete: replacement (arg index, or -1 = zero const);
+	//           editDropSucc: successor to keep; editZeroOp: operand index
+}
+
+const (
+	editDelete = iota
+	editDropSucc
+	editZeroOp
+)
+
+// reduceMeasure is the strictly decreasing termination measure:
+// (instructions, conditional branches, non-zero-constant operands),
+// compared lexicographically. Every edit kind strictly shrinks it —
+// deletion drops an instruction, DropSuccessor drops a conditional
+// branch without adding instructions, operand zeroing turns a live
+// operand into a zero constant — so greedy reduction terminates even
+// without the step bound.
+func reduceMeasure(f *ir.Func) [3]int {
+	var m [3]int
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs() {
+			m[0]++
+			if in.IsConditionalBr() {
+				m[1]++
+			}
+			for _, a := range in.Args() {
+				if c, ok := a.(*ir.Const); ok && c.IsZero() {
+					continue
+				}
+				m[2]++
+			}
+		}
+	}
+	return m
+}
+
+func measureLess(a, b [3]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// reduceEdits enumerates every candidate edit of f in deterministic
+// order: deletions first (they shrink fastest), then branch drops,
+// then operand zeroing. Coordinates index f's current shape.
+func reduceEdits(f *ir.Func) []reduceEdit {
+	var edits []reduceEdit
+	for bi, b := range f.Blocks {
+		for ii, in := range b.Instrs() {
+			if in.Op.IsTerminator() {
+				continue
+			}
+			if in.NumUses() == 0 {
+				edits = append(edits, reduceEdit{kind: editDelete, block: bi, instr: ii, arg: -1})
+				continue
+			}
+			for ai, a := range in.Args() {
+				if !a.Type().Equal(in.Ty) || a == ir.Value(in) {
+					continue
+				}
+				// A phi's incoming defs only dominate their edges, not
+				// the phi's uses — replacing with one would break SSA.
+				// Params and constants dominate everything and are fine.
+				if _, isInstr := a.(*ir.Instr); isInstr && in.Op == ir.OpPhi {
+					continue
+				}
+				edits = append(edits, reduceEdit{kind: editDelete, block: bi, instr: ii, arg: ai})
+			}
+			if in.Ty.IsInt() {
+				edits = append(edits, reduceEdit{kind: editDelete, block: bi, instr: ii, arg: -1})
+			}
+		}
+	}
+	for bi, b := range f.Blocks {
+		if t := b.Terminator(); t != nil && t.IsConditionalBr() {
+			edits = append(edits,
+				reduceEdit{kind: editDropSucc, block: bi, arg: 0},
+				reduceEdit{kind: editDropSucc, block: bi, arg: 1})
+		}
+	}
+	for bi, b := range f.Blocks {
+		for ii, in := range b.Instrs() {
+			for ai, a := range in.Args() {
+				if c, ok := a.(*ir.Const); ok && c.IsZero() {
+					continue
+				}
+				if a.Type().IsInt() {
+					edits = append(edits, reduceEdit{kind: editZeroOp, block: bi, instr: ii, arg: ai})
+				}
+			}
+		}
+	}
+	return edits
+}
+
+// applyEdit replays e on f (a private clone), returning false when the
+// edit no longer applies. Unreachable blocks left behind by a branch
+// drop are swept immediately so the verifier sees a closed CFG.
+func applyEdit(f *ir.Func, e reduceEdit) bool {
+	if e.block >= len(f.Blocks) {
+		return false
+	}
+	b := f.Blocks[e.block]
+	switch e.kind {
+	case editDropSucc:
+		if !ir.DropSuccessor(b, e.arg) {
+			return false
+		}
+	case editDelete, editZeroOp:
+		instrs := b.Instrs()
+		if e.instr >= len(instrs) {
+			return false
+		}
+		in := instrs[e.instr]
+		if e.kind == editZeroOp {
+			if e.arg >= in.NumArgs() || !in.Arg(e.arg).Type().IsInt() {
+				return false
+			}
+			in.SetArg(e.arg, ir.ConstInt(in.Arg(e.arg).Type(), 0))
+			return true
+		}
+		if in.Op.IsTerminator() {
+			return false
+		}
+		var repl ir.Value
+		if in.NumUses() > 0 {
+			switch {
+			case e.arg >= 0 && e.arg < in.NumArgs() && in.Arg(e.arg).Type().Equal(in.Ty):
+				if _, isInstr := in.Arg(e.arg).(*ir.Instr); isInstr && in.Op == ir.OpPhi {
+					return false
+				}
+				repl = in.Arg(e.arg)
+			case e.arg < 0 && in.Ty.IsInt():
+				repl = ir.ConstInt(in.Ty, 0)
+			default:
+				return false
+			}
+		}
+		ir.DeleteInstr(in, repl)
+	}
+	ir.RemoveUnreachableBlocks(f)
+	return true
+}
+
+// ReduceFinding greedily shrinks the refuted candidate src: it tries
+// every edit in deterministic order, accepts the first one whose
+// result is verifier-valid, strictly smaller under the termination
+// measure, and still refuted by transform under rcfg, then restarts
+// from the shrunken function. It stops when no edit survives or after
+// maxSteps accepted edits (0 means DefaultReduceMaxSteps).
+//
+// Determinism: edits are enumerated from the function's canonical
+// shape and re-checked with the same deterministic checker the
+// campaign uses, so the reduced finding is a pure function of
+// (src, transform, rcfg) — worker counts and cache state cannot
+// change it. The verdict is preserved by construction: every accepted
+// step's Result has Status == Refuted.
+//
+// src is not mutated; transform must be the same (deterministic)
+// transform that produced the original finding. mode selects the IR
+// dialect to re-verify shrunken candidates under — the campaign
+// passes VerifyLegacy for legacy-semantics runs, VerifyFreeze
+// otherwise.
+func ReduceFinding(src *ir.Func, transform func(*ir.Func) []string, rcfg refine.Config, mode ir.VerifyMode, maxSteps int) ReduceResult {
+	if maxSteps <= 0 {
+		maxSteps = DefaultReduceMaxSteps
+	}
+	cur := ir.CloneFunc(src)
+	curM := reduceMeasure(cur)
+	var out ReduceResult
+	for out.Steps < maxSteps {
+		accepted := false
+		for _, e := range reduceEdits(cur) {
+			cand := ir.CloneFunc(cur)
+			if !applyEdit(cand, e) {
+				continue
+			}
+			candM := reduceMeasure(cand)
+			if !measureLess(candM, curM) {
+				continue
+			}
+			if ir.Verify(cand, mode) != nil || analysis.VerifySSA(cand) != nil {
+				continue
+			}
+			work := ir.CloneFunc(cand)
+			changedBy := transform(work)
+			out.Attempts++
+			r := refine.Check(cand, work, rcfg)
+			if r.Status != refine.Refuted {
+				continue
+			}
+			out.RemovedInstrs += curM[0] - candM[0]
+			cur, curM = cand, candM
+			out.Src, out.Tgt = cand.String(), work.String()
+			out.ChangedBy, out.Result = changedBy, r
+			out.Steps++
+			accepted = true
+			break
+		}
+		if !accepted {
+			break
+		}
+	}
+	return out
+}

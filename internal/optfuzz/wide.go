@@ -1,0 +1,121 @@
+package optfuzz
+
+import (
+	"fmt"
+
+	"tameir/internal/ir"
+)
+
+// The sampled wide-bitwidth workload. The §6 argument for tiny widths
+// is that input enumeration closes — and it still closes at i8 (257
+// inputs per parameter with poison) and, with a raised input budget,
+// at i16. What does NOT close is the function space, so this source
+// keeps the exhaustive enumerator's shard structure and stable ordinal
+// space but emits only every Stride-th candidate: a deterministic
+// arithmetic sample of the same space, cheap enough to sweep widths
+// where bit-twiddling folds actually have room to be wrong.
+//
+// Drivers must raise refine.Config.ExhaustiveInputBits to the width
+// (and MaxInputs to cover 2^width+1 tuples per parameter) or verdicts
+// degrade to Inconclusive-by-sampling.
+
+// WideConfig configures a WideSource.
+type WideConfig struct {
+	// Width is the integer width (8 or 16 are the intended points).
+	Width uint
+	// NumInstrs / NumParams shape the enumerated functions (defaults 2
+	// and 1 — one parameter keeps the input product enumerable).
+	NumInstrs int
+	NumParams int
+	// Stride emits every Stride-th candidate of each shard's
+	// enumeration (default 97, coprime to the template period so the
+	// sample cuts across operand patterns).
+	Stride int
+	// MaxFuncs is the campaign-wide emitted-candidate budget (0 = all
+	// sampled candidates).
+	MaxFuncs int
+	// AllowPoison includes poison constant operands (default on via
+	// NewWideSource).
+	AllowPoison bool
+	// Opcodes overrides the menu; the default is the full binop set
+	// plus icmp and select. Freeze is excluded: freezing a wide poison
+	// fans out 2^width ways, past any sane oracle bound.
+	Opcodes []ir.Op
+}
+
+// WideSource samples the exhaustive space at a wider bitwidth.
+type WideSource struct {
+	cfg WideConfig
+	gen Config
+}
+
+// NewWideSource builds the sampled wide-width workload.
+func NewWideSource(cfg WideConfig) *WideSource {
+	if cfg.Width == 0 {
+		cfg.Width = 8
+	}
+	if cfg.NumInstrs <= 0 {
+		cfg.NumInstrs = 2
+	}
+	if cfg.NumParams <= 0 {
+		cfg.NumParams = 1
+	}
+	if cfg.Stride <= 0 {
+		cfg.Stride = 97
+	}
+	ops := cfg.Opcodes
+	if len(ops) == 0 {
+		ops = []ir.Op{
+			ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem,
+			ir.OpShl, ir.OpLShr, ir.OpAShr, ir.OpAnd, ir.OpOr, ir.OpXor,
+			ir.OpICmp, ir.OpSelect,
+		}
+	}
+	return &WideSource{
+		cfg: cfg,
+		gen: Config{
+			Width:       cfg.Width,
+			NumParams:   cfg.NumParams,
+			NumInstrs:   cfg.NumInstrs,
+			Opcodes:     ops,
+			AllowPoison: cfg.AllowPoison,
+		},
+	}
+}
+
+// Name implements Source.
+func (w *WideSource) Name() string { return fmt.Sprintf("wide%d", w.cfg.Width) }
+
+// Shards implements Source: the underlying exhaustive shard structure.
+func (w *WideSource) Shards() int { return NumShards(w.gen) }
+
+// Budget implements Source.
+func (w *WideSource) Budget() int { return w.cfg.MaxFuncs }
+
+// Capacities implements Source: unknown after striding, so the budget
+// splits evenly.
+func (w *WideSource) Capacities(limit int) []int { return nil }
+
+// Enumerate implements Source: walk the shard's exhaustive order,
+// emitting every Stride-th candidate.
+func (w *WideSource) Enumerate(shard, max int, emit func(*ir.Func) bool) (int, bool) {
+	ord, n, stopped := 0, 0, false
+	ExhaustiveShard(w.gen, shard, func(f *ir.Func) bool {
+		if ord%w.cfg.Stride != 0 {
+			ord++
+			return true
+		}
+		ord++
+		if max > 0 && n >= max {
+			stopped = true
+			return false
+		}
+		n++
+		if !emit(f) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	return n, stopped
+}

@@ -121,6 +121,7 @@ type memoIdent struct {
 type memoOpts struct {
 	opts       core.Options
 	srcMode    core.Mode // governs Check's input enumeration
+	inputBits  uint      // ditto: the exhaustive-enumeration cutoff
 	maxChoices int
 	maxFanout  uint64
 	maxExecs   int
@@ -204,9 +205,14 @@ func (s *MemoSession) funcEntry(fn *ir.Func, mo memoOpts) *memoFuncEntry {
 // the property the snapshot layer rides on.
 func memoFuncKey(fn *ir.Func, mo memoOpts) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%d|%d|%t|%d|%d|%d|%d|%d|%d\x00",
+	// srcMode and inputBits must be part of the rendered key, not just
+	// the identity-cache struct: they steer Check's input enumeration,
+	// so the byIdx ordinal space is only stable within one
+	// (srcMode, inputBits) regime.
+	fmt.Fprintf(&b, "%d|%d|%d|%t|%d|%d|%d|%d|%d|%d|%d|%d\x00",
 		mo.opts.Mode, mo.opts.BranchPoison, mo.opts.SelectPoisonCond,
 		mo.opts.SelectArmPoisonEither, mo.opts.Fuel, mo.opts.MaxCallDepth,
+		mo.srcMode, mo.inputBits,
 		mo.maxChoices, mo.maxFanout, mo.maxExecs, mo.fuel)
 	b.WriteString(fn.String())
 	return b.String()
@@ -216,6 +222,7 @@ func memoOptsOf(opts core.Options, cfg Config) memoOpts {
 	return memoOpts{
 		opts:       opts,
 		srcMode:    cfg.SrcOpts.Mode,
+		inputBits:  cfg.ExhaustiveInputBits,
 		maxChoices: cfg.MaxChoices,
 		maxFanout:  cfg.MaxFanout,
 		maxExecs:   cfg.MaxExecs,

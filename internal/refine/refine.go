@@ -27,6 +27,7 @@ import (
 	"tameir/internal/core"
 	_ "tameir/internal/core/bytecode" // link the bytecode tier backend
 	"tameir/internal/ir"
+	"tameir/internal/telemetry"
 )
 
 // BehaviorSet is the set of observable outcomes of one function on one
@@ -107,6 +108,15 @@ type Config struct {
 	// Fuel bounds steps per execution (overrides the options' fuel).
 	Fuel int
 
+	// ExhaustiveInputBits is the widest integer parameter whose inputs
+	// are enumerated exhaustively (0 means the default, 4). Raising it
+	// lets wider-bitwidth campaigns (i8 parameters: 256 values + the
+	// deferred-UB inputs) keep Exhaustive verdicts instead of degrading
+	// to sampling; the input count grows as 2^bits per parameter, so
+	// raise MaxInputs to match. Part of the memo key: behaviour-set
+	// ordinals depend on the input enumeration this governs.
+	ExhaustiveInputBits uint
+
 	// Memo, when non-nil, caches behaviour sets by canonical
 	// (function, semantics, input) key so structurally identical
 	// candidates skip re-computation. A memo hit never changes a
@@ -160,8 +170,16 @@ type Config struct {
 
 	// BehaviorHook, when non-nil, observes every behaviour set Check
 	// consumes — computed or memo-hit — in deterministic order. Used by
-	// tame-bench to fingerprint engine equivalence.
+	// tame-bench to fingerprint engine equivalence and by the mutation
+	// fuzzer to derive coverage digests.
 	BehaviorHook func(BehaviorSet)
+
+	// Trace, when non-nil, records per-phase spans inside every Check:
+	// "compile" around executor setup and "behaviors_src" /
+	// "behaviors_tgt" around each input's behaviour-set derivation.
+	// The spans cost a clock read per phase on the hot path, so
+	// campaigns leave this nil unless -trace-phases is set.
+	Trace *telemetry.Scope
 
 	// CacheDir, when non-empty, names a directory of persistent cache
 	// snapshots (internal/cache) for warm starts across processes.
@@ -471,8 +489,10 @@ func Check(src, tgt *ir.Func, cfg Config) Result {
 	}
 	var srcEx, tgtEx *core.Executor
 	if !cfg.Interpret {
+		sp := cfg.Trace.Start("compile")
 		srcEx = cfg.executor(src, cfg.SrcOpts)
 		tgtEx = cfg.executor(tgt, cfg.TgtOpts)
+		sp.End()
 	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.Checks++
@@ -489,7 +509,7 @@ func Check(src, tgt *ir.Func, cfg Config) Result {
 	cands := make([][]core.Value, len(src.Params))
 	for i, p := range src.Params {
 		var ex bool
-		cands[i], ex = CandidateValues(p.Ty, cfg.SrcOpts.Mode)
+		cands[i], ex = candidateValuesBits(p.Ty, cfg.SrcOpts.Mode, cfg.ExhaustiveInputBits)
 		exhaustive = exhaustive && ex
 	}
 
@@ -508,8 +528,12 @@ func Check(src, tgt *ir.Func, cfg Config) Result {
 			res.Exhaustive = false
 			break
 		}
+		sp := cfg.Trace.Start("behaviors_src")
 		sb := behaviorsAt(src, srcEx, args, res.Inputs-1, cfg.SrcOpts, cfg)
+		sp.End()
+		sp = cfg.Trace.Start("behaviors_tgt")
 		tb := behaviorsAt(tgt, tgtEx, args, res.Inputs-1, cfg.TgtOpts, cfg)
+		sp.End()
 		ok, reason := Refines(sb, tb)
 		if !ok {
 			if strings.HasPrefix(reason, "inconclusive") {
@@ -544,7 +568,16 @@ func Check(src, tgt *ir.Func, cfg Config) Result {
 // CandidateValues returns the input values to try for a parameter of
 // type ty, and whether they cover the type exhaustively. Deferred-UB
 // inputs are included: poison always, undef under legacy semantics.
+// Integers up to the default exhaustive width (4 bits) are fully
+// enumerated; Config.ExhaustiveInputBits widens that cutoff.
 func CandidateValues(ty ir.Type, mode core.Mode) ([]core.Value, bool) {
+	return candidateValuesBits(ty, mode, 0)
+}
+
+func candidateValuesBits(ty ir.Type, mode core.Mode, bits uint) ([]core.Value, bool) {
+	if bits == 0 {
+		bits = 4
+	}
 	addDeferred := func(vs []core.Value) []core.Value {
 		vs = append(vs, core.VPoison(ty))
 		if mode == core.Legacy {
@@ -553,7 +586,7 @@ func CandidateValues(ty ir.Type, mode core.Mode) ([]core.Value, bool) {
 		return vs
 	}
 	switch {
-	case ty.IsInt() && ty.Bits <= 4:
+	case ty.IsInt() && ty.Bits <= bits:
 		var vs []core.Value
 		for v := uint64(0); v < 1<<ty.Bits; v++ {
 			vs = append(vs, core.VC(ty, v))
