@@ -73,6 +73,7 @@ ci: vet test
 	  | $(GO) run ./cmd/tame-metrics -check 'poison_oracle_funcs_total>0,poison_oracle_claims_total>0,poison_oracle_execs_total>0,poison_oracle_violations_total=0'
 	$(MAKE) ci-cache
 	$(MAKE) ci-workload
+	$(MAKE) ci-trace
 
 # The persistent-cache gate: the same quick freeze campaign runs twice
 # against one -cache-dir. The cold run seeds the snapshots; the warm
@@ -116,3 +117,24 @@ ci-workload:
 	$(GO) run ./cmd/tame-fuzz -validate -n 300 -workers 1 -sem freeze > ci-workload/exhaustive-w1.txt
 	$(GO) run ./cmd/tame-fuzz -validate -source exhaustive -n 300 -workers 4 -sem freeze > ci-workload/exhaustive-w4.txt
 	cmp ci-workload/exhaustive-w1.txt ci-workload/exhaustive-w4.txt
+
+# The flight-recorder gate: the seeded mutation campaign (the same one
+# ci-workload's determinism half runs — it reliably produces findings)
+# runs traced with the stall watchdog armed, then tame-trace -assert
+# holds the recording to the invariants the trace layer promises:
+# shard spans present, exactly one pinned provenance instant per
+# finding (instants(finding)==counter(findings) — the pinned region is
+# what makes this immune to ring wrap), and zero watchdog stalls; the
+# metric twin re-checks the stall count and the event volume from the
+# registry side. The human-readable summary (top spans, per-shard
+# utilization, outliers) and the trace itself land in ci-trace/ for
+# the workflow's flight-recorder artifact — download trace.json and
+# drop it into ui.perfetto.dev to see the campaign timeline.
+.PHONY: ci-trace
+ci-trace:
+	rm -rf ci-trace && mkdir -p ci-trace
+	$(GO) run ./cmd/tame-fuzz -validate -source mutate -seed 7 -epochs 3 -n 60 -sem legacy -unsound -reduce -workers 2 \
+	  -trace ci-trace/trace.json -stall-deadline 120s -metrics ci-trace/trace-metrics.json > ci-trace/findings.txt || true
+	$(GO) run ./cmd/tame-trace -assert 'spans(campaign/s)>0,spans(check/)>0,spans(pass/)>0,instants(finding)==counter(findings),instants(finding)>0,instants(watchdog_stall)==0' ci-trace/trace.json
+	$(GO) run ./cmd/tame-trace summarize ci-trace/trace.json > ci-trace/summary.txt
+	$(GO) run ./cmd/tame-metrics -check 'watchdog_stalls_total=0,trace_events_total>0,campaign_refuted_total>0' ci-trace/trace-metrics.json

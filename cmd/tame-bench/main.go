@@ -30,6 +30,7 @@ import (
 
 	"tameir/internal/bench"
 	"tameir/internal/telemetry"
+	"tameir/internal/telemetry/trace"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 	jsonPath := flag.String("json", "", "also write the experiment's rows as JSON to this file (E11, or E12 with -exp exec)")
 	metricsPath := flag.String("metrics", "", "write process engine/cache metrics after the experiments ('-' = text on stdout, *.json = JSON)")
 	cacheDir := flag.String("cache-dir", "", "persistent cache directory for the E11 warm-start ablation (default: a fresh temp dir, removed afterwards)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON flight recording with one span per experiment (open in Perfetto or tame-trace)")
 	flag.Parse()
 
 	// One process registry collects every experiment's telemetry when
@@ -56,6 +58,22 @@ func main() {
 	var reg *telemetry.Registry
 	if *metricsPath != "" {
 		reg = telemetry.NewRegistry()
+	}
+
+	// -trace: a coarse timeline of the run — one bench/<experiment>
+	// span per section on a single track, so a long -exp all invocation
+	// shows where the wall time went.
+	var rec *trace.Recorder
+	expScope := func(string) *telemetry.Span { return nil }
+	if *tracePath != "" {
+		rec = trace.NewRecorder(0)
+		rec.SetTrackName(0, "bench")
+		sreg := reg
+		if sreg == nil {
+			sreg = telemetry.NewRegistry()
+		}
+		scope := telemetry.NewScope(sreg, "bench").WithTrace(rec, 0)
+		expScope = func(name string) *telemetry.Span { return scope.Start(name) }
 	}
 
 	wantMeasure := false
@@ -89,6 +107,7 @@ func main() {
 	}
 
 	if wantValidate {
+		sp := expScope("validate")
 		fmt.Println("# Section 6 experiment: exhaustive generation + translation validation")
 		fixed := bench.Validate(true, *valInstrs, *valMax, reg)
 		bench.ReportValidation(os.Stdout, "fixed passes, freeze semantics", fixed)
@@ -96,9 +115,11 @@ func main() {
 		legacy := bench.Validate(false, *valInstrs, *valMax, reg)
 		bench.ReportValidation(os.Stdout, "historical passes, legacy semantics", legacy)
 		fmt.Println()
+		sp.End()
 	}
 
 	if wantMeasure {
+		sp := expScope("measure")
 		fmt.Println("# Section 7 experiments: baseline vs freeze prototype")
 		base, err := bench.MeasureAll(bench.Baseline(), *reps)
 		if err != nil {
@@ -109,6 +130,7 @@ func main() {
 			fatal(err)
 		}
 		bench.Report(os.Stdout, base, proto)
+		sp.End()
 	}
 
 	// E11 and E13 rows accumulate here and are written to -json once,
@@ -116,6 +138,7 @@ func main() {
 	var pipeRows []bench.PipelineResult
 
 	if wantPipeline {
+		sp := expScope("pipeline")
 		fmt.Println("# E11: parallel fuzz-and-validate pipeline throughput")
 		var rows []bench.PipelineResult
 		// Serial memo-off rows are the baselines the speedups are
@@ -160,9 +183,11 @@ func main() {
 		rows = append(rows, ws...)
 		pipeRows = append(pipeRows, rows...)
 		fmt.Println()
+		sp.End()
 	}
 
 	if wantWorkload {
+		sp := expScope("workload")
 		fmt.Println("# E13: pluggable workloads (exhaustive / mutate / wide8)")
 		instrs, max := *valInstrs, *valMax
 		if *quick {
@@ -172,6 +197,7 @@ func main() {
 		bench.ReportWorkloads(os.Stdout, rows)
 		pipeRows = append(pipeRows, rows...)
 		fmt.Println()
+		sp.End()
 	}
 
 	if (wantPipeline || wantWorkload) && *jsonPath != "" {
@@ -186,6 +212,7 @@ func main() {
 	}
 
 	if wantExec {
+		sp := expScope("exec")
 		fmt.Println("# E12: execution tiers (interpreted vs compiled vs bytecode) by worker count")
 		instrs, max := *execInstrs, *execMax
 		if *quick {
@@ -214,9 +241,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tame-bench: wrote %s\n", *jsonPath)
 		}
 		fmt.Println()
+		sp.End()
 	}
 
 	if wantAblation {
+		sp := expScope("ablation")
 		fmt.Println("\n# Ablation: what the §6 freeze-awareness work buys")
 		proto, err := bench.MeasureAll(bench.Prototype(), *reps)
 		if err != nil {
@@ -227,6 +256,7 @@ func main() {
 			fatal(err)
 		}
 		bench.ReportAblation(os.Stdout, proto, blind)
+		sp.End()
 	}
 
 	if *metricsPath != "" {
@@ -238,6 +268,21 @@ func main() {
 		if err := reg.Snapshot().WriteFile(*metricsPath); err != nil {
 			fatal(err)
 		}
+	}
+
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tame-bench: wrote %s (%d events)\n", *tracePath, len(rec.Events()))
 	}
 }
 

@@ -56,6 +56,14 @@
 //	                    instead of being buffered until the end
 //	-debug-addr ADDR    serve /metrics, /metrics.json, /metrics/history
 //	                    and /debug/pprof on ADDR while the run lasts
+//	                    (plus /debug/trace when -trace is set)
+//	-trace FILE         record the campaign into the flight recorder
+//	                    and write a Chrome trace-event JSON timeline to
+//	                    FILE — load it in Perfetto or chrome://tracing,
+//	                    or feed it to tame-trace summarize/diff/-assert
+//	-stall-deadline D   arm the stall watchdog: a shard silent for
+//	                    longer than D dumps goroutine stacks and an
+//	                    emergency trace snapshot instead of hanging
 //	-cache-dir DIR      warm-start from DIR's persistent snapshots
 //	                    (behaviour-set memo + lowering metadata) and
 //	                    refresh them after the run; stale snapshots are
@@ -69,6 +77,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"tameir/internal/core"
@@ -77,6 +86,7 @@ import (
 	"tameir/internal/passes"
 	"tameir/internal/refine"
 	"tameir/internal/telemetry"
+	"tameir/internal/telemetry/trace"
 )
 
 func main() {
@@ -106,6 +116,10 @@ func main() {
 	corpus := flag.String("corpus", "", "corpus file for -source mutate: seeds loaded before the run (if present), final corpus written after")
 	reduce := flag.Bool("reduce", false, "shrink every finding with the automatic reducer before reporting it")
 	tracePhases := flag.Bool("trace-phases", false, "record per-shard and per-check-phase telemetry spans (wall-clock; scheduling-dependent)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the -validate run to this file")
+	traceBuf := flag.Int("trace-buf", 0, "flight-recorder capacity in events (0 = default 64Ki; oldest events are overwritten)")
+	stallDeadline := flag.Duration("stall-deadline", 0, "watchdog deadline: a shard silent this long dumps goroutine stacks and a trace snapshot (0 = off)")
+	stallSnapshot := flag.String("stall-snapshot", "", "emergency trace snapshot path for the watchdog (default <trace>.stall.json when -trace is set)")
 	flag.Parse()
 
 	if *poisonOracle {
@@ -126,6 +140,8 @@ func main() {
 			tier: *tier, cacheDir: *cacheDir,
 			source: *source, seed: *seed, epochs: *epochs, corpus: *corpus,
 			reduce: *reduce, tracePhases: *tracePhases,
+			tracePath: *tracePath, traceBuf: *traceBuf,
+			stallDeadline: *stallDeadline, stallSnapshot: *stallSnapshot,
 		})
 		return
 	}
@@ -174,6 +190,10 @@ type campaignFlags struct {
 	corpus           string
 	reduce           bool
 	tracePhases      bool
+	tracePath        string
+	traceBuf         int
+	stallDeadline    time.Duration
+	stallSnapshot    string
 }
 
 func runCampaign(fl campaignFlags) {
@@ -299,6 +319,20 @@ func runCampaign(fl campaignFlags) {
 		CacheDir:    fl.cacheDir,
 		Reduce:      fl.reduce,
 		TracePhases: fl.tracePhases,
+		Seed:        fl.seed,
+	}
+
+	var rec *trace.Recorder
+	if fl.tracePath != "" {
+		rec = trace.NewRecorder(fl.traceBuf)
+		c.Trace = rec
+		if fl.stallSnapshot == "" {
+			fl.stallSnapshot = fl.tracePath + ".stall.json"
+		}
+	}
+	if fl.stallDeadline > 0 {
+		c.StallDeadline = fl.stallDeadline
+		c.StallSnapshot = fl.stallSnapshot
 	}
 
 	var reg *telemetry.Registry
@@ -307,18 +341,23 @@ func runCampaign(fl campaignFlags) {
 		c.Telemetry = reg
 	}
 	if fl.debugAddr != "" {
-		ds, err := telemetry.StartDebugServer(fl.debugAddr, reg, fl.debugSnapEvery, fl.debugSnapRing)
+		ds, err := telemetry.StartDebugServer(fl.debugAddr, reg, fl.debugSnapEvery, fl.debugSnapRing, rec)
 		if err != nil {
 			fatal(err)
 		}
 		defer ds.Close()
-		fmt.Fprintf(os.Stderr, "tame-fuzz: debug server on http://%s (/metrics, /metrics.json, /metrics/history, /debug/pprof)\n", ds.Addr)
+		endpoints := "/metrics, /metrics.json, /metrics/history, /debug/pprof"
+		if rec != nil {
+			endpoints += ", /debug/trace"
+		}
+		fmt.Fprintf(os.Stderr, "tame-fuzz: debug server on http://%s (%s)\n", ds.Addr, endpoints)
 	}
 
 	// With -progress, findings stream to stdout in deterministic order
 	// the moment every earlier shard has finished — the report-early
 	// path — and a live line tracks throughput on stderr.
 	var pl *telemetry.ProgressLine
+	var outMu sync.Mutex // serializes the live line against streamed findings
 	streamDone := make(chan struct{})
 	if fl.progress {
 		pl = telemetry.NewProgressLine(os.Stderr, 0)
@@ -327,14 +366,23 @@ func runCampaign(fl campaignFlags) {
 		go func() {
 			defer close(streamDone)
 			for f := range ch {
+				// Clear the live progress line first: when stdout and
+				// stderr share a terminal, printing a finding under an
+				// active \r-line garbles both. The lock keeps a progress
+				// repaint from racing into the middle of the finding.
+				outMu.Lock()
+				pl.Clear()
 				printFinding(f, srcName, fl.seed)
+				outMu.Unlock()
 			}
 		}()
 		start := time.Now()
 		c.Progress = func(p optfuzz.CampaignProgress) {
 			rate := float64(p.Funcs) / time.Since(start).Seconds()
+			outMu.Lock()
 			pl.Update("tame-fuzz: %d/%d shards  %d funcs  %d refuted  %.0f funcs/sec",
 				p.ShardsDone, p.Shards, p.Funcs, p.Refuted, rate)
+			outMu.Unlock()
 		}
 	} else {
 		close(streamDone)
@@ -399,6 +447,13 @@ func runCampaign(fl campaignFlags) {
 	if fl.optStats {
 		st.Opt.Emit(os.Stderr, true, true)
 	}
+	if fl.tracePath != "" {
+		if err := writeTrace(fl.tracePath, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tame-fuzz: trace: %d events written to %s (%d overwritten by ring wrap)\n",
+			len(rec.Events()), fl.tracePath, rec.Dropped())
+	}
 	if fl.metricsPath != "" {
 		if err := reg.Snapshot().WriteFile(fl.metricsPath); err != nil {
 			fatal(err)
@@ -407,6 +462,19 @@ func runCampaign(fl campaignFlags) {
 	if st.Refuted > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeTrace dumps the flight recorder as Chrome trace-event JSON.
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 type poisonOracleFlags struct {

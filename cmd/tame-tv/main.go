@@ -10,6 +10,12 @@
 // (-workers 0 = one per CPU, 1 = serial); reports are printed in input
 // order regardless of the worker count. Exit status 1 on any refuted
 // pair.
+//
+// -trace writes a Chrome trace-event JSON flight recording (open in
+// Perfetto, or inspect with tame-trace): one span per validated pair
+// plus the checker's per-phase spans (check/compile,
+// check/behaviors_src, check/behaviors_tgt), laid out on one track
+// per pool worker.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"tameir/internal/core"
 	"tameir/internal/ir"
@@ -24,6 +31,7 @@ import (
 	"tameir/internal/passes"
 	"tameir/internal/refine"
 	"tameir/internal/telemetry"
+	"tameir/internal/telemetry/trace"
 )
 
 func main() {
@@ -35,7 +43,18 @@ func main() {
 	tier := flag.String("tier", "", "execution tier: off (interpreter), closure, auto or bytecode (default auto; -interp implies off)")
 	metricsPath := flag.String("metrics", "", "write the checker metric snapshot to this file ('-' = text on stdout, *.json = JSON)")
 	cacheDir := flag.String("cache-dir", "", "persistent cache directory: warm-start the behaviour-set memo from it and refresh it after the run")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON flight recording to this file (open in Perfetto or tame-trace)")
 	flag.Parse()
+
+	// -trace: one track per pool worker; pairs land on track i mod w.
+	// The scope needs some registry for its span histograms, but the
+	// flight recording is the product here, so a throwaway one does.
+	var rec *trace.Recorder
+	var checkScope *telemetry.Scope
+	if *tracePath != "" {
+		rec = trace.NewRecorder(0)
+		checkScope = telemetry.NewScope(telemetry.NewRegistry(), "check")
+	}
 
 	var opts core.Options
 	switch *sem {
@@ -75,11 +94,18 @@ func main() {
 	// check runs one src→tgt validation with worker-private checker
 	// state. Each call gets its own oracle (and metric collector) so
 	// concurrent checks never share storage; per-pair collectors merge
-	// in input order below, the shard-order discipline.
-	check := func(src, tgt *ir.Func, met *refine.CheckMetrics) refine.Result {
+	// in input order below, the shard-order discipline. When tracing,
+	// the whole pair gets a tv/<name> span and the checker's phase
+	// spans nest inside it on the same track.
+	check := func(src, tgt *ir.Func, met *refine.CheckMetrics, track int) refine.Result {
 		cfg := rcfg
 		cfg.Oracle = core.NewEnumOracle(cfg.MaxChoices, cfg.MaxFanout)
 		cfg.Metrics = met
+		if rec != nil {
+			cfg.Trace = checkScope.WithTrace(rec, track)
+			start := time.Now()
+			defer func() { rec.Complete(track, "tv/"+src.Name(), start, time.Since(start)) }()
+		}
 		return refine.Check(src, tgt, cfg)
 	}
 
@@ -104,6 +130,7 @@ func main() {
 		}
 		mod := parse(flag.Arg(0))
 		cfg := &passes.Config{Sem: opts, Unsound: *unsound, FreezeAware: true}
+		tracks := nameTracks(rec, *workers, len(mod.Funcs))
 		reports = parallel.Map(*workers, len(mod.Funcs), func(i int) report {
 			f := mod.Funcs[i]
 			// The module is shared across workers: transform a private
@@ -114,7 +141,7 @@ func main() {
 			}
 			var r report
 			r.name = f.Name()
-			r.res = check(f, work, &r.met)
+			r.res = check(f, work, &r.met, i%tracks)
 			return r
 		})
 	} else {
@@ -131,10 +158,11 @@ func main() {
 			}
 			pairs = append(pairs, [2]*ir.Func{sf, tf})
 		}
+		tracks := nameTracks(rec, *workers, len(pairs))
 		reports = parallel.Map(*workers, len(pairs), func(i int) report {
 			var r report
 			r.name = pairs[i][0].Name()
-			r.res = check(pairs[i][0], pairs[i][1], &r.met)
+			r.res = check(pairs[i][0], pairs[i][1], &r.met, i%tracks)
 			return r
 		})
 	}
@@ -173,9 +201,46 @@ func main() {
 			fatal(err)
 		}
 	}
+	if rec != nil {
+		if err := writeTrace(*tracePath, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tame-tv: wrote %s (%d events, %d overwritten)\n",
+			*tracePath, len(rec.Events()), rec.Dropped())
+	}
 	if anyRefuted {
 		os.Exit(1)
 	}
+}
+
+// nameTracks labels one trace track per pool worker and returns the
+// track count (pairs land on track index mod that count).
+func nameTracks(rec *trace.Recorder, workers, n int) int {
+	w := parallel.Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	if rec != nil {
+		for t := 0; t < w; t++ {
+			rec.SetTrackName(t, fmt.Sprintf("worker %d", t))
+		}
+	}
+	return w
+}
+
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parse(path string) *ir.Module {

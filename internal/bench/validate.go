@@ -118,6 +118,13 @@ func Validate(fixed bool, numInstrs, maxFuncs int, reg *telemetry.Registry) []Va
 		if reg != nil {
 			sub := telemetry.NewRegistry()
 			met.Publish(sub, telemetry.Deterministic)
+			// The E3 verdict tallies, as counters: the serial sweep is
+			// fully deterministic, so a metrics diff between two builds
+			// is a semantic diff of the validator or the pass.
+			sub.Counter("bench_funcs_total", telemetry.Deterministic, "functions generated and validated").Add(uint64(row.Funcs))
+			sub.Counter("bench_verified_total", telemetry.Deterministic, "pairs proved refining").Add(uint64(row.Verified))
+			sub.Counter("bench_refuted_total", telemetry.Deterministic, "pairs refuted by counterexample").Add(uint64(row.Refuted))
+			sub.Counter("bench_inconclusive_total", telemetry.Deterministic, "pairs hitting enumeration limits").Add(uint64(row.Inconclusive))
 			reg.MergeLabeled(sub, "experiment", "validate", "dialect", dialect, "pass", vp.name)
 		}
 		rows = append(rows, row)

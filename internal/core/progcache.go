@@ -47,6 +47,7 @@ type progEntry struct {
 type ProgramCache struct {
 	table      *cache.Table[progKey, *progEntry]
 	recompiles atomic.Uint64
+	events     func(hit bool, fn string)
 }
 
 // ProgramCacheStats is a point-in-time copy of a cache's counters.
@@ -71,6 +72,12 @@ func NewProgramCache(max int) *ProgramCache {
 	}
 	return &ProgramCache{table: cache.NewTable[progKey, *progEntry](max, 1, nil)}
 }
+
+// SetEvents installs a per-lookup hit/miss callback, invoked with the
+// function's name after each Get, outside the cache's locks. Tracing
+// only: nil (the default) costs one nil check per lookup. Set it
+// before the cache is shared across goroutines.
+func (c *ProgramCache) SetEvents(fn func(hit bool, fn string)) { c.events = fn }
 
 // Get returns the compiled program for (fn, opts), compiling and
 // caching it on first use.
@@ -103,13 +110,18 @@ func (c *ProgramCache) get(fn *ir.Func, opts Options, verify bool) *Program {
 			e.text = text
 		}
 	}
+	computed := false
 	e, _ := c.table.GetOrCompute(k, func() *progEntry {
+		computed = true
 		e := &progEntry{prog: Compile(fn, opts)}
 		if verify {
 			e.text = fn.String()
 		}
 		return e
 	}, onHit)
+	if c.events != nil {
+		c.events(!computed, fn.Name())
+	}
 	return e.prog
 }
 

@@ -1044,6 +1044,12 @@ type Executor struct {
 	// this executor has switched to the tier-2 program.
 	tier   TierPolicy
 	runner TierRunner
+
+	// Events, when non-nil, receives tracing notifications (currently
+	// "tier_promote" when the executor switches to the tier-2 runner)
+	// with flattened key/value pairs. It is consulted only on the
+	// promotion path, never per step.
+	Events func(name string, args ...string)
 }
 
 // SetTier installs the tiering policy. TierBytecode lowers on the next
@@ -1075,6 +1081,7 @@ func (e *Executor) tryPromote() {
 	case TierBytecode:
 		if tp := p.tierProgram(&e.env.Metrics); tp != nil {
 			e.runner = tp.NewRunner()
+			e.promoted("bytecode")
 		} else {
 			e.tier.Mode = TierClosure // backend declined; stop asking
 		}
@@ -1084,9 +1091,17 @@ func (e *Executor) tryPromote() {
 		}
 		if tp := p.tierProgram(&e.env.Metrics); tp != nil {
 			e.runner = tp.NewRunner()
+			e.promoted("auto")
 		} else {
 			e.tier.Mode = TierClosure
 		}
+	}
+}
+
+// promoted fires the Events hook for a successful tier switch.
+func (e *Executor) promoted(mode string) {
+	if e.Events != nil {
+		e.Events("tier_promote", "fn", e.prog.fn.Name(), "mode", mode)
 	}
 }
 

@@ -2,6 +2,9 @@ package optfuzz
 
 import (
 	"fmt"
+	"io"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +16,7 @@ import (
 	"tameir/internal/passes"
 	"tameir/internal/refine"
 	"tameir/internal/telemetry"
+	"tameir/internal/telemetry/trace"
 )
 
 // Campaign is one fuzz-and-validate run, the paper's §6 experiment as
@@ -132,6 +136,37 @@ type Campaign struct {
 	// without them. Requires Telemetry.
 	TracePhases bool
 
+	// Trace, when non-nil, is the flight recorder: shard spans, check
+	// phases, per-pass spans, tier promotions, program-cache hit/miss
+	// instants, and one provenance-carrying "finding" instant per
+	// finding all land in it, on one track per shard (plus a "campaign"
+	// track for run-level events). Implies the TracePhases span sites
+	// regardless of that flag. All trace data is scheduling-class: the
+	// timeline is never reproducible across runs.
+	Trace *trace.Recorder
+
+	// Seed is the workload RNG seed, recorded in finding provenance
+	// (the campaign itself never consumes it — sources are seeded at
+	// construction).
+	Seed int64
+
+	// StallDeadline arms the stall watchdog: a shard silent for longer
+	// than this (no candidate completed) dumps all goroutine stacks to
+	// StallOut, writes an emergency trace snapshot to StallSnapshot,
+	// and records a "watchdog_stall" instant instead of hanging
+	// silently. Zero disables the watchdog. Heartbeat ages surface as
+	// watchdog_beat_age_ms{shard=N} gauges and stall episodes as
+	// watchdog_stalls_total in Telemetry.
+	StallDeadline time.Duration
+
+	// StallOut receives the watchdog's goroutine dumps (default
+	// os.Stderr).
+	StallOut io.Writer
+
+	// StallSnapshot, when non-empty, is where the watchdog writes the
+	// emergency Chrome-JSON trace snapshot on the first stall.
+	StallSnapshot string
+
 	// Telemetry, when non-nil, receives the campaign's merged metric
 	// counters after the run: campaign_* verdicts, workload_* labelled
 	// twins, per-shard checker and engine counters (check_*, engine_*,
@@ -208,6 +243,30 @@ type Finding struct {
 	ReduceSteps int
 	// Result carries the counterexample.
 	Result refine.Result
+	// Prov records where the finding came from beyond the positional
+	// fields above: workload, seed, tier, cache state at emission.
+	// Always populated by the campaign; mirrored into the flight
+	// recorder as a "finding" instant when Campaign.Trace is set, so a
+	// trace alone explains every counterexample.
+	Prov *Provenance
+}
+
+// Provenance is the cross-cutting context attached to each Finding.
+// The positional coordinates (epoch, shard, index, pass, ChangedBy,
+// reduce steps) live on the Finding itself; Provenance carries the
+// campaign-level rest. Every field is deterministic — findings (and
+// so their provenance) must stay DeepEqual across worker counts. The
+// scheduling-dependent memo counters at sealing time appear only in
+// the mirrored trace instant (`memo_lookups`/`memo_hits` args).
+type Provenance struct {
+	// Source names the workload; Seed is the campaign's RNG seed.
+	Source string
+	Seed   int64
+	// Tier is the execution-tier mode the checker ran under.
+	Tier string
+	// DiskWarm is whether the campaign warm-started from persistent
+	// cache snapshots.
+	DiskWarm bool
 }
 
 // PassTally is one pass's slice of a multi-pass campaign.
@@ -552,15 +611,59 @@ func (c Campaign) Run() Stats {
 	progress := newProgressSink(c.Progress, c.ProgressEvery, shards*epochs)
 	var poolPM *parallel.PoolMetrics
 	var runSpan *telemetry.Span
-	var shardScope, checkScope *telemetry.Scope
+	var shardScope, checkScope, passScope *telemetry.Scope
 	if c.Telemetry != nil {
 		poolPM = &parallel.PoolMetrics{}
-		scope := telemetry.NewScope(c.Telemetry, "campaign")
-		runSpan = scope.Start("run")
-		if c.TracePhases {
-			shardScope = scope
-			checkScope = telemetry.NewScope(c.Telemetry, "check")
+	}
+	if c.Telemetry != nil || c.Trace != nil {
+		// Spans need a registry for their histograms even in a
+		// trace-only run; a throwaway one keeps the recorder fed
+		// without publishing anywhere.
+		sreg := c.Telemetry
+		if sreg == nil {
+			sreg = telemetry.NewRegistry()
 		}
+		scope := telemetry.NewScope(sreg, "campaign")
+		// Run-level events go on the track after the last shard.
+		runSpan = scope.WithTrace(c.Trace, shards).Start("run")
+		if c.TracePhases || c.Trace != nil {
+			shardScope = scope
+			checkScope = telemetry.NewScope(sreg, "check")
+			passScope = telemetry.NewScope(sreg, "pass")
+		}
+	}
+	if c.Trace != nil {
+		for s := 0; s < shards; s++ {
+			c.Trace.SetTrackName(s, fmt.Sprintf("shard %d", s))
+		}
+		c.Trace.SetTrackName(shards, "campaign")
+	}
+
+	var wd *trace.Watchdog
+	if c.StallDeadline > 0 {
+		treg := c.Telemetry // nil registry is a valid no-op sink
+		wd = trace.StartWatchdog(trace.WatchdogConfig{
+			Tracks:       shards,
+			Deadline:     c.StallDeadline,
+			Rec:          c.Trace,
+			StacksTo:     c.StallOut,
+			SnapshotPath: c.StallSnapshot,
+			OnBeatAge: func(track int, age time.Duration) {
+				treg.Gauge(
+					telemetry.L("watchdog_beat_age_ms", "shard", strconv.Itoa(track)),
+					telemetry.Scheduling,
+					"ms since the shard's last completed candidate",
+				).Set(age.Milliseconds())
+			},
+		})
+		defer wd.Stop()
+	}
+
+	prov := Provenance{
+		Source:   src.Name(),
+		Seed:     c.Seed,
+		Tier:     c.Refine.Tier.Mode.String(),
+		DiskWarm: disk.Stats().Loads > 0,
 	}
 
 	// The reducer re-verifies every shrunken candidate against the
@@ -586,7 +689,8 @@ func (c Campaign) Run() Stats {
 		streamer = newFindingStreamer(c.Stream, shards)
 		results := parallel.MapTimed(c.Workers, shards, func(s int) shardStats {
 			return c.runShard(src, evolving, epoch, s, budget, budgets[s],
-				memo, verifyMode, streamer, progress, shardScope, checkScope)
+				memo, verifyMode, streamer, progress,
+				shardScope, checkScope, passScope, wd, &prov)
 		}, poolPM)
 
 		for _, r := range results {
@@ -649,7 +753,28 @@ func (c Campaign) Run() Stats {
 		corpus = true
 	}
 	runSpan.End()
+	if c.Trace != nil {
+		// Final counter samples on the campaign track: the values CI
+		// assertions read back from the trace alone (one "finding"
+		// instant was emitted per finding, so
+		// instants(finding)==counter(findings) must hold unless the
+		// ring wrapped).
+		c.Trace.Counter(shards, "findings", int64(out.Refuted))
+		c.Trace.Counter(shards, "funcs", int64(out.Funcs))
+	}
 	c.publish(out, shards*epochs, &check, prog, poolPM, memo != nil, disk != nil, corpus)
+	if c.Telemetry != nil {
+		if wd != nil {
+			c.Telemetry.Counter("watchdog_stalls_total", telemetry.Scheduling,
+				"stall episodes the watchdog fired on").Add(wd.Stalls())
+		}
+		if c.Trace != nil {
+			c.Telemetry.Counter("trace_events_total", telemetry.Scheduling,
+				"events resident in the flight recorder after the run").Add(uint64(len(c.Trace.Events())))
+			c.Telemetry.Counter("trace_dropped_total", telemetry.Scheduling,
+				"events overwritten by flight-recorder ring wrap").Add(c.Trace.Dropped())
+		}
+	}
 	progress.tick(true)
 	return out
 }
@@ -660,8 +785,10 @@ func (c Campaign) Run() Stats {
 // distinct shards run concurrently without sharing.
 func (c Campaign) runShard(src Source, evolving Evolving, epoch, s, budget, max int,
 	memo *refine.Memo, verifyMode ir.VerifyMode, streamer *findingStreamer,
-	progress *progressSink, shardScope, checkScope *telemetry.Scope) shardStats {
+	progress *progressSink, shardScope, checkScope, passScope *telemetry.Scope,
+	wd *trace.Watchdog, prov *Provenance) shardStats {
 	defer func() {
+		wd.Done(s)
 		streamer.finish(s)
 		if progress != nil {
 			progress.shardsDone.Add(1)
@@ -671,6 +798,13 @@ func (c Campaign) runShard(src Source, evolving Evolving, epoch, s, budget, max 
 	if budget > 0 && max == 0 {
 		return shardStats{} // budget exhausted before this shard
 	}
+	// Bind this shard's events to its own recorder track. WithTrace is
+	// a no-op when the campaign has no recorder, so the TracePhases-
+	// only configuration keeps its histogram-only spans.
+	shardScope = shardScope.WithTrace(c.Trace, s)
+	checkScope = checkScope.WithTrace(c.Trace, s)
+	passScope = passScope.WithTrace(c.Trace, s)
+	wd.Beat(s)
 	if shardScope != nil {
 		defer shardScope.Start(fmt.Sprintf("s%d", s)).End()
 	}
@@ -686,6 +820,15 @@ func (c Campaign) runShard(src Source, evolving Evolving, epoch, s, budget, max 
 	// program cache is sound here; it pays off when one candidate is
 	// checked against several passes.
 	rcfg.Programs = core.NewProgramCache(0)
+	if rec := c.Trace; rec != nil {
+		rcfg.Programs.SetEvents(func(hit bool, fn string) {
+			name := "progcache_miss"
+			if hit {
+				name = "progcache_hit"
+			}
+			rec.Instant(s, name, "fn", fn)
+		})
+	}
 	if checkScope != nil {
 		rcfg.Trace = checkScope
 	}
@@ -711,6 +854,7 @@ func (c Campaign) runShard(src Source, evolving Evolving, epoch, s, budget, max 
 		}
 	case c.Pipeline != nil:
 		pm = c.Pipeline.Clone() // private per-shard stats, shared pass list
+		pm.Trace = passScope    // per-pass spans ("pass/<name>") on this shard's track
 		transforms = []shardTransform{{fn: func(f *ir.Func) []string {
 			_, fired := pm.RunFuncChanged(f, c.PipelineCfg)
 			return fired
@@ -802,6 +946,33 @@ func (c Campaign) runShard(src Source, evolving Evolving, epoch, s, budget, max 
 						fd.Result = rr.Result
 					}
 				}
+				p := *prov
+				fd.Prov = &p
+				// The memo counters at sealing are scheduling-dependent
+				// (which worker derives a shared set first is a race), so
+				// they go into the trace record only — Finding.Prov stays
+				// deterministic, like every other field DeepEqual'd by the
+				// across-workers tests.
+				var memoLookups, memoHits uint64
+				if memo != nil {
+					memoLookups, memoHits = memo.Lookups(), memo.Hits()
+				}
+				// Pinned: provenance must survive ring wrap so the trace
+				// always explains every finding (and CI can assert
+				// instants(finding)==counter(findings)).
+				c.Trace.InstantPinned(s, "finding",
+					"epoch", strconv.Itoa(epoch),
+					"shard", strconv.Itoa(s),
+					"index", strconv.Itoa(idx),
+					"pass", fd.Pass,
+					"changed_by", strings.Join(fd.ChangedBy, ","),
+					"source", p.Source,
+					"seed", strconv.FormatInt(p.Seed, 10),
+					"tier", p.Tier,
+					"memo_lookups", strconv.FormatUint(memoLookups, 10),
+					"memo_hits", strconv.FormatUint(memoHits, 10),
+					"disk_warm", strconv.FormatBool(p.DiskWarm),
+					"reduce_steps", strconv.Itoa(fd.ReduceSteps))
 				if streamer != nil {
 					streamer.emit(s, fd)
 				} else {
@@ -828,6 +999,7 @@ func (c Campaign) runShard(src Source, evolving Evolving, epoch, s, budget, max 
 			})
 		}
 		idx++
+		wd.Beat(s)
 		if progress != nil {
 			progress.funcs.Add(1)
 			progress.tick(false)

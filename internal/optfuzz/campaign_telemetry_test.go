@@ -1,6 +1,7 @@
 package optfuzz
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"tameir/internal/passes"
 	"tameir/internal/refine"
 	"tameir/internal/telemetry"
+	"tameir/internal/telemetry/trace"
 )
 
 // TestCampaignTelemetryDeterministicAcrossWorkers is the telemetry
@@ -171,5 +173,62 @@ func TestCampaignProgress(t *testing.T) {
 	}
 	if last.ShardsDone != last.Shards {
 		t.Errorf("final progress reports %d/%d shards done", last.ShardsDone, last.Shards)
+	}
+}
+
+// TestCampaignTraceProvenance: a traced campaign must explain every
+// finding — each Finding carries a Provenance and the recorder holds
+// exactly one pinned "finding" instant per finding, regardless of how
+// hot the per-shard rings ran. This is the invariant `make ci-trace`
+// asserts with tame-trace.
+func TestCampaignTraceProvenance(t *testing.T) {
+	sem := core.LegacyOptions(core.BranchPoisonNondet)
+	pcfg := passes.DefaultLegacyConfig()
+	pcfg.Unsound = true
+	gen := DefaultConfig(2)
+	gen.MaxFuncs = 2000
+	rec := trace.NewRecorder(0)
+	c := Campaign{
+		Gen:    gen,
+		Refine: refine.DefaultConfig(sem, sem),
+		Transform: func(f *ir.Func) {
+			m := ir.NewModule()
+			m.AddFunc(f)
+			passes.O2().Run(m, pcfg)
+		},
+		Workers: 4,
+		Trace:   rec,
+		Seed:    7,
+	}
+	st := c.Run()
+	if st.Refuted == 0 {
+		t.Fatal("unsound pipeline produced no findings")
+	}
+	for i, f := range st.Findings {
+		if f.Prov == nil {
+			t.Fatalf("finding %d has no provenance", i)
+		}
+		if f.Prov.Seed != 7 || f.Prov.Source == "" || f.Prov.Tier == "" {
+			t.Errorf("finding %d provenance incomplete: %+v", i, *f.Prov)
+		}
+	}
+	expr := fmt.Sprintf("instants(finding)==%d, spans(campaign/s)>0, counter(findings)==%d",
+		st.Refuted, st.Refuted)
+	if err := trace.Assert(rec.Events(), expr); err != nil {
+		t.Error(err)
+	}
+	// Each pinned finding instant must carry the coordinates needed to
+	// replay it: shard, epoch, pass, and the campaign seed.
+	for _, ev := range rec.Events() {
+		if ev.Name != "finding" {
+			continue
+		}
+		// "pass" stays empty here: a bare Transform campaign has no
+		// named pass; the named-pipeline path is covered by ci-trace.
+		for _, key := range []string{"shard", "epoch", "seed", "source", "tier"} {
+			if ev.Arg(key) == "" {
+				t.Fatalf("finding instant lacks %q: %+v", key, ev)
+			}
+		}
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"tameir/internal/analysis"
 	"tameir/internal/core"
 	"tameir/internal/ir"
+	"tameir/internal/telemetry"
 )
 
 // Config parameterizes every pass run.
@@ -165,6 +166,12 @@ type PassManager struct {
 	// counter and panic; checks are counted in verify_each_checks_total.
 	// Subsumes Config.VerifyAfterEach when set.
 	VerifyEach bool
+	// Trace, when non-nil, records one span per pass step (named
+	// "<scope path>/<pass name>") — with a traced scope that lands
+	// every step in the flight recorder's timeline. Campaigns set it
+	// on their per-shard clone; it costs one clock read per step, the
+	// same as Stats.
+	Trace *telemetry.Scope
 }
 
 // NewPassManager resolves names through the registry into a pass
@@ -293,7 +300,9 @@ func (pm *PassManager) runStep(p Pass, f *ir.Func, cfg *Config, am *AnalysisMana
 		before = f.NumInstrs()
 		start = time.Now()
 	}
+	sp := pm.Trace.Start(p.Name())
 	changed := p.Run(f, cfg, am)
+	sp.End()
 	if pm.Stats != nil {
 		pm.Stats.record(p.Name(), changed, time.Since(start), before-f.NumInstrs())
 	}

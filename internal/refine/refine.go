@@ -178,7 +178,10 @@ type Config struct {
 	// "compile" around executor setup and "behaviors_src" /
 	// "behaviors_tgt" around each input's behaviour-set derivation.
 	// The spans cost a clock read per phase on the hot path, so
-	// campaigns leave this nil unless -trace-phases is set.
+	// campaigns leave this nil unless -trace-phases is set. A traced
+	// scope (Scope.WithTrace) additionally lands the spans in the
+	// flight recorder and emits "tier_promote" instants when an
+	// executor switches to the tier-2 runner.
 	Trace *telemetry.Scope
 
 	// CacheDir, when non-empty, names a directory of persistent cache
@@ -238,6 +241,10 @@ func (cfg Config) executor(fn *ir.Func, opts core.Options) *core.Executor {
 	}
 	ex := core.NewExecutor(p)
 	ex.SetTier(cfg.Tier)
+	if cfg.Trace.Traced() {
+		tr := cfg.Trace
+		ex.Events = func(name string, args ...string) { tr.Instant(name, args...) }
+	}
 	return ex
 }
 

@@ -7,6 +7,8 @@ import (
 	"net/http/pprof"
 	"sync"
 	"time"
+
+	"tameir/internal/telemetry/trace"
 )
 
 // DebugMux builds the handler served behind -debug-addr: the standard
@@ -15,8 +17,10 @@ import (
 //	/metrics          text exposition (deterministic + scheduling)
 //	/metrics.json     JSON snapshot
 //	/metrics/history  JSON array of periodic snapshots (newest last)
+//	/debug/trace      Chrome trace-event snapshot of the flight
+//	                  recorder (404 when no recorder is attached)
 //	/debug/pprof/...  profiles
-func DebugMux(reg *Registry, hist *SnapshotHistory) *http.ServeMux {
+func DebugMux(reg *Registry, hist *SnapshotHistory, rec *trace.Recorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -30,6 +34,12 @@ func DebugMux(reg *Registry, hist *SnapshotHistory) *http.ServeMux {
 		mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			hist.WriteJSON(w)
+		})
+	}
+	if rec != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = rec.WriteChromeJSON(w)
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -110,8 +120,9 @@ type DebugServer struct {
 // StartDebugServer listens on addr and serves DebugMux(reg) in the
 // background, recording a snapshot into a ring-buffered history every
 // interval (default 5s when interval <= 0; ring <= 0 means the
-// default NewSnapshotHistory depth). Close shuts both down.
-func StartDebugServer(addr string, reg *Registry, interval time.Duration, ring int) (*DebugServer, error) {
+// default NewSnapshotHistory depth). rec, when non-nil, is served at
+// /debug/trace. Close shuts both down.
+func StartDebugServer(addr string, reg *Registry, interval time.Duration, ring int, rec *trace.Recorder) (*DebugServer, error) {
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}
@@ -122,7 +133,7 @@ func StartDebugServer(addr string, reg *Registry, interval time.Duration, ring i
 	hist := NewSnapshotHistory(ring)
 	ds := &DebugServer{
 		Addr: ln.Addr().String(),
-		srv:  &http.Server{Handler: DebugMux(reg, hist)},
+		srv:  &http.Server{Handler: DebugMux(reg, hist, rec)},
 		stop: make(chan struct{}),
 	}
 	ds.done.Add(2)

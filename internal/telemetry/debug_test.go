@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"tameir/internal/telemetry/trace"
 )
 
 func TestDebugMuxEndpoints(t *testing.T) {
@@ -15,7 +17,9 @@ func TestDebugMuxEndpoints(t *testing.T) {
 	r.Counter("hits_total", Deterministic, "").Add(3)
 	hist := NewSnapshotHistory(4)
 	hist.Record(r.Snapshot())
-	srv := httptest.NewServer(DebugMux(r, hist))
+	rec := trace.NewRecorder(0)
+	rec.Instant(0, "probe")
+	srv := httptest.NewServer(DebugMux(r, hist, rec))
 	defer srv.Close()
 
 	get := func(path string) string {
@@ -51,6 +55,25 @@ func TestDebugMuxEndpoints(t *testing.T) {
 	if body := get("/debug/pprof/cmdline"); body == "" {
 		t.Fatal("pprof cmdline empty")
 	}
+	evs, _, err := trace.ParseChromeJSON(strings.NewReader(get("/debug/trace")))
+	if err != nil {
+		t.Fatalf("/debug/trace not chrome json: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Name != "probe" {
+		t.Fatalf("/debug/trace wrong events: %+v", evs)
+	}
+
+	// Without a recorder the endpoint must 404, not serve an empty trace.
+	bare := httptest.NewServer(DebugMux(r, hist, nil))
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/trace without recorder: status %d, want 404", resp.StatusCode)
+	}
 }
 
 func TestSnapshotHistoryRing(t *testing.T) {
@@ -82,7 +105,7 @@ func TestSnapshotHistoryRing(t *testing.T) {
 func TestStartDebugServer(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("up_total", Deterministic, "").Inc()
-	ds, err := StartDebugServer("127.0.0.1:0", r, 10*time.Millisecond, 0)
+	ds, err := StartDebugServer("127.0.0.1:0", r, 10*time.Millisecond, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -74,6 +74,22 @@ func (p *ProgressLine) render(line string) {
 	p.last = time.Now()
 }
 
+// Clear blanks the live line without finishing: the next Update
+// redraws it. Call it before printing a normal line (e.g. a streamed
+// finding) so the two don't interleave on a shared terminal.
+func (p *ProgressLine) Clear() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.finished || p.lastLen == 0 {
+		return
+	}
+	fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.lastLen))
+	p.lastLen = 0
+}
+
 // Finish clears the live line and stops further updates. Call it
 // before printing normal output below the progress display.
 func (p *ProgressLine) Finish() {

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"time"
+
+	"tameir/internal/telemetry/trace"
 )
 
 // Scope is a named position in the span hierarchy, bound to a
@@ -13,11 +15,19 @@ import (
 // that cannot afford even that nil check per event (the engine step
 // loop) gets the check compiled out instead — see core.Options.
 //
+// A scope can additionally carry a trace.Recorder (see WithTrace):
+// then every span it times also lands in the flight recorder as a
+// complete event on the scope's track, and Instant/Counter emit
+// point events. Without a recorder those are no-ops, so the
+// histogram-only path is unchanged.
+//
 // All span series are Scheduling class by construction: wall time is
 // never reproducible.
 type Scope struct {
-	reg  *Registry
-	path string
+	reg   *Registry
+	path  string
+	rec   *trace.Recorder
+	track int
 }
 
 // NewScope returns a root scope recording into reg. Returns nil (the
@@ -29,18 +39,57 @@ func NewScope(reg *Registry, name string) *Scope {
 	return &Scope{reg: reg, path: name}
 }
 
-// Child returns a scope one level deeper in the hierarchy.
+// Child returns a scope one level deeper in the hierarchy. The
+// recorder and track carry over.
 func (s *Scope) Child(name string) *Scope {
 	if s == nil {
 		return nil
 	}
-	return &Scope{reg: s.reg, path: s.path + "/" + name}
+	return &Scope{reg: s.reg, path: s.path + "/" + name, rec: s.rec, track: s.track}
+}
+
+// WithTrace returns a copy of the scope that also emits every span,
+// instant, and counter into rec on the given track. A nil rec (or a
+// nil scope) returns the scope unchanged — tracing stays opt-in per
+// call site.
+func (s *Scope) WithTrace(rec *trace.Recorder, track int) *Scope {
+	if s == nil || rec == nil {
+		return s
+	}
+	return &Scope{reg: s.reg, path: s.path, rec: rec, track: track}
+}
+
+// Traced reports whether spans under this scope reach a recorder.
+func (s *Scope) Traced() bool { return s != nil && s.rec != nil }
+
+// Instant emits a point event named under the scope's path into the
+// attached recorder (no-op without one). Args are flattened key/value
+// pairs carried into the trace.
+func (s *Scope) Instant(name string, args ...string) {
+	if s == nil || s.rec == nil {
+		return
+	}
+	s.rec.Instant(s.track, s.path+"/"+name, args...)
+}
+
+// Counter emits a numeric sample into the attached recorder (no-op
+// without one). Unlike registry counters the name is NOT path-joined:
+// counter series are trace-global so CI assertions can read them
+// without knowing which scope sampled them.
+func (s *Scope) Counter(name string, value int64) {
+	if s == nil || s.rec == nil {
+		return
+	}
+	s.rec.Counter(s.track, name, value)
 }
 
 // Span is one in-flight timed region. End it exactly once.
 type Span struct {
 	hist  Histogram
 	start time.Time
+	rec   *trace.Recorder
+	name  string
+	track int
 }
 
 // Start begins a span named under the scope's path. The histogram
@@ -53,10 +102,14 @@ func (s *Scope) Start(name string) *Span {
 	if name != "" {
 		path = path + "/" + name
 	}
-	return &Span{
+	sp := &Span{
 		hist:  s.reg.Histogram(L("span_wall_ns", "span", path), Scheduling, "span wall time in nanoseconds"),
 		start: time.Now(),
 	}
+	if s.rec != nil {
+		sp.rec, sp.name, sp.track = s.rec, path, s.track
+	}
+	return sp
 	// The histogram's _count is the number of times the span ran and
 	// _sum the total nanoseconds — the same two numbers a classic
 	// start/stop timer pair would report, plus a latency distribution.
@@ -67,7 +120,11 @@ func (sp *Span) End() {
 	if sp == nil {
 		return
 	}
-	sp.hist.Observe(uint64(time.Since(sp.start)))
+	d := time.Since(sp.start)
+	sp.hist.Observe(uint64(d))
+	if sp.rec != nil {
+		sp.rec.Complete(sp.track, sp.name, sp.start, d)
+	}
 }
 
 // Timed runs fn inside a span — convenience for whole-function

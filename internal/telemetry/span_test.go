@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"tameir/internal/telemetry/trace"
+)
+
+func TestScopeWithTraceEmitsEvents(t *testing.T) {
+	reg := NewRegistry()
+	rec := trace.NewRecorder(0)
+	scope := NewScope(reg, "campaign").WithTrace(rec, 3)
+	if !scope.Traced() {
+		t.Fatal("scope not traced after WithTrace")
+	}
+
+	scope.Start("s3").End()
+	scope.Child("inner").Start("step").End()
+	scope.Instant("finding", "pass", "sccp")
+	scope.Counter("findings", 7)
+
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	byName := map[string]trace.Event{}
+	for _, ev := range evs {
+		byName[ev.Name] = ev
+	}
+	sp, ok := byName["campaign/s3"]
+	if !ok || sp.Phase != trace.PhaseComplete || sp.Track != 3 {
+		t.Fatalf("span event wrong: %+v", sp)
+	}
+	if _, ok := byName["campaign/inner/step"]; !ok {
+		t.Fatal("child scope did not inherit the recorder")
+	}
+	fd, ok := byName["campaign/finding"]
+	if !ok || fd.Phase != trace.PhaseInstant || fd.Arg("pass") != "sccp" {
+		t.Fatalf("instant wrong: %+v", fd)
+	}
+	if c := byName["findings"]; c.Phase != trace.PhaseCounter || c.Value != 7 {
+		t.Fatalf("counter wrong: %+v", c)
+	}
+
+	// The histogram side must be unchanged by tracing.
+	if s, ok := reg.Snapshot().Get(L("span_wall_ns", "span", "campaign/s3")); !ok || s.Count != 1 {
+		t.Fatalf("span histogram missing or wrong: %+v", s)
+	}
+}
+
+func TestScopeWithoutTraceIsUnchanged(t *testing.T) {
+	reg := NewRegistry()
+	scope := NewScope(reg, "campaign")
+	if scope.WithTrace(nil, 0) != scope {
+		t.Fatal("WithTrace(nil) must return the scope unchanged")
+	}
+	if scope.Traced() {
+		t.Fatal("untraced scope claims Traced")
+	}
+	// All trace-side calls are silent no-ops.
+	scope.Instant("x")
+	scope.Counter("y", 1)
+	scope.Start("z").End()
+	var nilScope *Scope
+	if nilScope.WithTrace(trace.NewRecorder(0), 0) != nil {
+		t.Fatal("nil scope must stay nil")
+	}
+	nilScope.Instant("x")
+	nilScope.Counter("y", 1)
+}
+
+func TestProgressLineClear(t *testing.T) {
+	var buf bytes.Buffer
+	pl := NewProgressLine(&buf, time.Nanosecond)
+	pl.Flush("working 1/10")
+	pl.Clear()
+	out := buf.String()
+	if !strings.HasSuffix(out, "\r"+strings.Repeat(" ", len("working 1/10"))+"\r") {
+		t.Fatalf("Clear did not blank the line: %q", out)
+	}
+	// Next update redraws from column zero with no stale padding.
+	buf.Reset()
+	pl.Flush("done")
+	if got := buf.String(); got != "\rdone" {
+		t.Fatalf("redraw after Clear wrong: %q", got)
+	}
+	// Clear on a cleared (or finished, or nil) line is a no-op.
+	buf.Reset()
+	pl.Clear()
+	pl.Finish()
+	pl.Clear()
+	var nilPL *ProgressLine
+	nilPL.Clear()
+}
